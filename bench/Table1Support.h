@@ -1,0 +1,127 @@
+//===- bench/Table1Support.h - Shared Table 1 machinery ---------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the evaluation harnesses: run one benchmark under
+/// one allocator configuration, compute the paper's percentage metrics, and
+/// format table rows the way Table 1 presents them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_BENCH_TABLE1SUPPORT_H
+#define RAP_BENCH_TABLE1SUPPORT_H
+
+#include "benchprogs/BenchPrograms.h"
+#include "driver/Pipeline.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace rap::bench {
+
+struct Measurement {
+  ExecStats Stats;
+  AllocStats Alloc;
+  int64_t Checksum = 0;
+  bool HasSpillCode = false; ///< allocated code contains ldm/stm
+};
+
+/// Compiles and runs \p P under \p Options; verifies the checksum against
+/// \p ExpectedChecksum (aborting loudly on miscompilation, since a wrong
+/// binary invalidates the whole table).
+inline Measurement measure(const BenchProgram &P,
+                           const CompileOptions &Options,
+                           int64_t ExpectedChecksum) {
+  CompileResult CR = compileMiniC(P.Source, Options);
+  if (!CR.ok()) {
+    std::fprintf(stderr, "FATAL: %s failed to compile:\n%s\n", P.Name,
+                 CR.Errors.c_str());
+    std::abort();
+  }
+  Measurement M;
+  M.Alloc = CR.Alloc;
+  for (const auto &F : CR.Prog->functions()) {
+    F->root()->forEachInstr([&](Instr *I) {
+      M.HasSpillCode |=
+          I->Op == Opcode::LdSpill || I->Op == Opcode::StSpill;
+    });
+  }
+  Interpreter Interp(*CR.Prog);
+  RunResult R = Interp.run();
+  if (!R.Ok) {
+    std::fprintf(stderr, "FATAL: %s failed to run: %s\n", P.Name,
+                 R.Error.c_str());
+    std::abort();
+  }
+  M.Stats = R.Stats;
+  M.Checksum = R.ReturnValue.asInt();
+  if (M.Checksum != ExpectedChecksum) {
+    std::fprintf(stderr,
+                 "FATAL: %s miscompiled (checksum %lld, expected %lld)\n",
+                 P.Name, static_cast<long long>(M.Checksum),
+                 static_cast<long long>(ExpectedChecksum));
+    std::abort();
+  }
+  return M;
+}
+
+/// Reference (unallocated) checksum for \p P.
+inline int64_t referenceChecksum(const BenchProgram &P) {
+  CompileOptions Opts;
+  RunResult R = compileAndRun(P.Source, Opts);
+  if (!R.Ok) {
+    std::fprintf(stderr, "FATAL: %s reference run failed: %s\n", P.Name,
+                 R.Error.c_str());
+    std::abort();
+  }
+  return R.ReturnValue.asInt();
+}
+
+/// The paper's Table 1 metrics for one (benchmark, k) cell: percentage
+/// decrease in total executed cycles and the portions attributable to loads
+/// and stores.
+struct Cell {
+  double Tot = 0.0;
+  double Ld = 0.0;
+  double St = 0.0;
+  bool HasSpill = false; ///< blank row entry when neither binary spills
+};
+
+inline Cell makeCell(const Measurement &Gra, const Measurement &Rap) {
+  Cell C;
+  double Base = static_cast<double>(Gra.Stats.Cycles);
+  C.Tot = 100.0 *
+          (static_cast<double>(Gra.Stats.Cycles) -
+           static_cast<double>(Rap.Stats.Cycles)) /
+          Base;
+  C.Ld = 100.0 *
+         (static_cast<double>(Gra.Stats.Loads) -
+          static_cast<double>(Rap.Stats.Loads)) /
+         Base;
+  C.St = 100.0 *
+         (static_cast<double>(Gra.Stats.Stores) -
+          static_cast<double>(Rap.Stats.Stores)) /
+         Base;
+  // The paper blanks a cell "if the allocated code does not contain spill
+  // code"; copy-statement differences still produce entries (the dominant
+  // effect at k=9), so only fully identical executions blank out.
+  C.HasSpill = Gra.HasSpillCode || Rap.HasSpillCode ||
+               Gra.Stats.Cycles != Rap.Stats.Cycles;
+  return C;
+}
+
+inline std::string fmtPct(double V, bool Blank) {
+  if (Blank)
+    return "     -";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%6.1f", V);
+  return Buf;
+}
+
+} // namespace rap::bench
+
+#endif // RAP_BENCH_TABLE1SUPPORT_H

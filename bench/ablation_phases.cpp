@@ -1,0 +1,163 @@
+//===- bench/ablation_phases.cpp - RAP phase ablations -----------------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablates the design choices DESIGN.md calls out, aggregated over the whole
+/// Table 1 suite:
+///
+///   1. RAP phases: bottom-up allocation alone, + spill-code movement,
+///      + the Figure 6 peephole, + the dataflow cleanup extension.
+///   2. Peephole fairness: the Figure 6 cleanup applied to GRA output (the
+///      paper does not do this; it isolates how much of RAP's win the
+///      cleanup alone provides).
+///   3. Copy style: era-faithful naive assignment copies (Table 1's setup)
+///      versus direct computation into variables (modern codegen), which
+///      removes the copy-elimination channel the paper credits.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Table1Support.h"
+
+#include <cstdio>
+#include <functional>
+
+using namespace rap;
+using namespace rap::bench;
+
+namespace {
+
+/// Total cycles over the suite under a configuration.
+uint64_t totalCycles(const std::function<CompileOptions()> &MakeOpts) {
+  uint64_t Total = 0;
+  for (const BenchProgram &P : benchPrograms()) {
+    CompileOptions Opts = MakeOpts();
+    // Reference checksum must use the same front-end options so the
+    // comparison is apples to apples.
+    CompileOptions RefOpts;
+    RefOpts.Granularity = Opts.Granularity;
+    RefOpts.Copies = Opts.Copies;
+    CompileResult Ref = compileMiniC(P.Source, RefOpts);
+    RunResult RefRun = Interpreter(*Ref.Prog).run();
+    if (!RefRun.Ok) {
+      std::fprintf(stderr, "FATAL: %s reference failed\n", P.Name);
+      std::abort();
+    }
+    Measurement M = measure(P, Opts, RefRun.ReturnValue.asInt());
+    Total += M.Stats.Cycles;
+  }
+  return Total;
+}
+
+void report(const char *Name, uint64_t Cycles, uint64_t Baseline) {
+  std::printf("  %-44s %12llu  (%+.2f%% vs GRA)\n", Name,
+              static_cast<unsigned long long>(Cycles),
+              100.0 * (static_cast<double>(Baseline) -
+                       static_cast<double>(Cycles)) /
+                  static_cast<double>(Baseline));
+}
+
+} // namespace
+
+int main() {
+  const unsigned Ks[] = {3, 5};
+  for (unsigned K : Ks) {
+    std::printf("=== k = %u (total cycles over all 37 routines) ===\n", K);
+
+    auto Base = [&] {
+      CompileOptions O;
+      O.Alloc.K = K;
+      return O;
+    };
+
+    uint64_t Gra = totalCycles([&] {
+      CompileOptions O = Base();
+      O.Allocator = AllocatorKind::Gra;
+      return O;
+    });
+    report("GRA (baseline)", Gra, Gra);
+
+    uint64_t GraPeep = totalCycles([&] {
+      CompileOptions O = Base();
+      O.Allocator = AllocatorKind::Gra;
+      O.Alloc.PeepholeForGra = true;
+      return O;
+    });
+    report("GRA + Figure 6 peephole", GraPeep, Gra);
+
+    uint64_t RapP1 = totalCycles([&] {
+      CompileOptions O = Base();
+      O.Allocator = AllocatorKind::Rap;
+      O.Alloc.SpillMovement = false;
+      O.Alloc.Peephole = false;
+      O.Alloc.GlobalCleanup = false;
+      return O;
+    });
+    report("RAP phase 1 only", RapP1, Gra);
+
+    uint64_t RapP12 = totalCycles([&] {
+      CompileOptions O = Base();
+      O.Allocator = AllocatorKind::Rap;
+      O.Alloc.Peephole = false;
+      O.Alloc.GlobalCleanup = false;
+      return O;
+    });
+    report("RAP phases 1+2 (movement)", RapP12, Gra);
+
+    uint64_t RapP123 = totalCycles([&] {
+      CompileOptions O = Base();
+      O.Allocator = AllocatorKind::Rap;
+      O.Alloc.GlobalCleanup = false;
+      return O;
+    });
+    report("RAP phases 1+2+3 (paper-exact pipeline)", RapP123, Gra);
+
+    uint64_t RapFull = totalCycles([&] {
+      CompileOptions O = Base();
+      O.Allocator = AllocatorKind::Rap;
+      return O;
+    });
+    report("RAP full (+ dataflow cleanup, Table 1 setup)", RapFull, Gra);
+
+    // Coalescing extension (paper §5 future work): both allocators.
+    uint64_t GraCoal = totalCycles([&] {
+      CompileOptions O = Base();
+      O.Allocator = AllocatorKind::Gra;
+      O.Alloc.Coalesce = true;
+      return O;
+    });
+    report("GRA + conservative coalescing", GraCoal, Gra);
+    uint64_t RapCoal = totalCycles([&] {
+      CompileOptions O = Base();
+      O.Allocator = AllocatorKind::Rap;
+      O.Alloc.Coalesce = true;
+      return O;
+    });
+    report("RAP + conservative coalescing", RapCoal, Gra);
+
+    // Copy-style ablation: both allocators under direct codegen.
+    uint64_t GraDirect = totalCycles([&] {
+      CompileOptions O = Base();
+      O.Allocator = AllocatorKind::Gra;
+      O.Copies = CopyStyle::Direct;
+      return O;
+    });
+    uint64_t RapDirect = totalCycles([&] {
+      CompileOptions O = Base();
+      O.Allocator = AllocatorKind::Rap;
+      O.Copies = CopyStyle::Direct;
+      return O;
+    });
+    std::printf("  copy-style ablation (direct codegen): GRA %llu, RAP %llu "
+                "(%+.2f%%)\n",
+                static_cast<unsigned long long>(GraDirect),
+                static_cast<unsigned long long>(RapDirect),
+                100.0 * (static_cast<double>(GraDirect) -
+                         static_cast<double>(RapDirect)) /
+                    static_cast<double>(GraDirect));
+    std::printf("\n");
+  }
+  return 0;
+}

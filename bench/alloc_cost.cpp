@@ -1,0 +1,71 @@
+//===- bench/alloc_cost.cpp - Allocator compile-time and space ---------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark harness for the paper's introduction claims about the
+/// allocators themselves: RAP builds many *small* interference graphs
+/// ("smaller interference graphs ... than one interference graph for the
+/// whole program"), trading allocation time for space. Measures wall time
+/// of each allocator on representative routines and reports the maximum
+/// interference-graph size as a counter.
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchprogs/BenchPrograms.h"
+#include "driver/Pipeline.h"
+
+#include "benchmark/benchmark.h"
+
+using namespace rap;
+
+namespace {
+
+void allocBench(benchmark::State &State, const char *Program,
+                AllocatorKind Kind, unsigned K) {
+  const BenchProgram *P = findBenchProgram(Program);
+  if (!P) {
+    State.SkipWithError("unknown benchmark program");
+    return;
+  }
+  unsigned MaxNodes = 0;
+  for (auto _ : State) {
+    CompileOptions Opts;
+    Opts.Allocator = Kind;
+    Opts.Alloc.K = K;
+    CompileResult CR = compileMiniC(P->Source, Opts);
+    benchmark::DoNotOptimize(CR.Prog.get());
+    MaxNodes = std::max(MaxNodes, CR.Alloc.MaxGraphNodes);
+  }
+  State.counters["max_graph_nodes"] = MaxNodes;
+}
+
+void registerAll() {
+  const char *Programs[] = {"loop7", "loop21", "queens", "hsort", "intmm"};
+  for (const char *Prog : Programs) {
+    for (unsigned K : {3u, 9u}) {
+      benchmark::RegisterBenchmark(
+          (std::string("gra/") + Prog + "/k" + std::to_string(K)).c_str(),
+          [Prog, K](benchmark::State &S) {
+            allocBench(S, Prog, AllocatorKind::Gra, K);
+          });
+      benchmark::RegisterBenchmark(
+          (std::string("rap/") + Prog + "/k" + std::to_string(K)).c_str(),
+          [Prog, K](benchmark::State &S) {
+            allocBench(S, Prog, AllocatorKind::Rap, K);
+          });
+    }
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  registerAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

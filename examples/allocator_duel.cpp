@@ -1,0 +1,79 @@
+//===- examples/allocator_duel.cpp - GRA vs RAP on one routine ---------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compares the two allocators on one Table 1 routine across the paper's
+/// register-set sizes, printing the full dynamic breakdown (the per-cell
+/// data behind Table 1). Usage:
+///
+///   ./build/examples/allocator_duel [routine]   (default: loop7)
+///
+/// Run with no arguments after a build, or pass any of the 37 routine
+/// names (loop1..loop22, daxpy, hsort, queens, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchprogs/BenchPrograms.h"
+#include "driver/Pipeline.h"
+
+#include <cstdio>
+
+using namespace rap;
+
+int main(int argc, char **argv) {
+  const char *Name = argc > 1 ? argv[1] : "loop7";
+  const BenchProgram *P = findBenchProgram(Name);
+  if (!P) {
+    std::fprintf(stderr, "unknown routine '%s'; available:\n", Name);
+    for (const BenchProgram &B : benchPrograms())
+      std::fprintf(stderr, "  %s (%s)\n", B.Name, B.Group);
+    return 1;
+  }
+
+  CompileOptions RefOpts;
+  RunResult Ref = compileAndRun(P->Source, RefOpts);
+  if (!Ref.Ok) {
+    std::fprintf(stderr, "reference run failed: %s\n", Ref.Error.c_str());
+    return 1;
+  }
+  std::printf("%s (%s): reference checksum %s, %llu cycles unallocated\n\n",
+              P->Name, P->Group, Ref.ReturnValue.str().c_str(),
+              static_cast<unsigned long long>(Ref.Stats.Cycles));
+  std::printf("%3s %5s %10s %9s %9s %8s %7s %7s\n", "k", "alloc", "cycles",
+              "loads", "stores", "copies", "spills", "graph");
+
+  for (unsigned K : {3u, 5u, 7u, 9u}) {
+    uint64_t GraCycles = 0;
+    for (AllocatorKind Kind : {AllocatorKind::Gra, AllocatorKind::Rap}) {
+      CompileOptions Opts;
+      Opts.Allocator = Kind;
+      Opts.Alloc.K = K;
+      CompileResult CR = compileMiniC(P->Source, Opts);
+      RunResult R = Interpreter(*CR.Prog).run();
+      if (!R.Ok || R.ReturnValue != Ref.ReturnValue) {
+        std::fprintf(stderr, "MISCOMPILE at k=%u\n", K);
+        return 1;
+      }
+      bool IsGra = Kind == AllocatorKind::Gra;
+      if (IsGra)
+        GraCycles = R.Stats.Cycles;
+      std::printf("%3u %5s %10llu %9llu %9llu %8llu %7u %7u", K,
+                  IsGra ? "gra" : "rap",
+                  static_cast<unsigned long long>(R.Stats.Cycles),
+                  static_cast<unsigned long long>(R.Stats.Loads),
+                  static_cast<unsigned long long>(R.Stats.Stores),
+                  static_cast<unsigned long long>(R.Stats.Copies),
+                  CR.Alloc.SpilledVRegs, CR.Alloc.MaxGraphNodes);
+      if (!IsGra)
+        std::printf("  -> %+.1f%%",
+                    100.0 * (static_cast<double>(GraCycles) -
+                             static_cast<double>(R.Stats.Cycles)) /
+                        static_cast<double>(GraCycles));
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

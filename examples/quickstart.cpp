@@ -1,0 +1,86 @@
+//===- examples/quickstart.cpp - Five-minute tour ----------------------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The smallest end-to-end use of the library: compile a MiniC program,
+/// look at its PDG region tree and unallocated ILOC, allocate registers
+/// with both GRA and RAP at k=4, and execute each binary with the cycle
+/// counter. Build and run:
+///
+///   cmake -B build -G Ninja && cmake --build build
+///   ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "pdg/Dot.h"
+
+#include <cstdio>
+
+using namespace rap;
+
+static const char *Program = R"(
+int a[32];
+int sumEvens(int n) {
+  int total = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    if (a[i] % 2 == 0) {
+      total = total + a[i];
+    }
+  }
+  return total;
+}
+int main() {
+  for (int i = 0; i < 32; i = i + 1) {
+    a[i] = i * 3;
+  }
+  return sumEvens(32);
+}
+)";
+
+int main() {
+  // 1. Compile without allocation: unlimited virtual registers.
+  CompileOptions Unalloc;
+  CompileResult Ref = compileMiniC(Program, Unalloc);
+  if (!Ref.ok()) {
+    std::fprintf(stderr, "compile errors:\n%s", Ref.Errors.c_str());
+    return 1;
+  }
+
+  IlocFunction *F = Ref.Prog->findFunction("sumEvens");
+  std::printf("=== PDG region tree of sumEvens ===\n%s\n",
+              regionTreeToText(*F).c_str());
+  std::printf("=== unallocated ILOC ===\n%s\n", F->str().c_str());
+
+  RunResult RefRun = Interpreter(*Ref.Prog).run();
+  std::printf("reference run: result=%s cycles=%llu\n\n",
+              RefRun.ReturnValue.str().c_str(),
+              static_cast<unsigned long long>(RefRun.Stats.Cycles));
+
+  // 2. Allocate with each allocator and compare.
+  for (AllocatorKind Kind : {AllocatorKind::Gra, AllocatorKind::Rap}) {
+    CompileOptions Opts;
+    Opts.Allocator = Kind;
+    Opts.Alloc.K = 4;
+    CompileResult CR = compileMiniC(Program, Opts);
+    RunResult R = Interpreter(*CR.Prog).run();
+    const char *Name = Kind == AllocatorKind::Gra ? "GRA" : "RAP";
+    std::printf("%s k=4: result=%s cycles=%llu loads=%llu stores=%llu "
+                "copies=%llu (spilled %u vregs, largest graph %u nodes)\n",
+                Name, R.ReturnValue.str().c_str(),
+                static_cast<unsigned long long>(R.Stats.Cycles),
+                static_cast<unsigned long long>(R.Stats.Loads),
+                static_cast<unsigned long long>(R.Stats.Stores),
+                static_cast<unsigned long long>(R.Stats.Copies),
+                CR.Alloc.SpilledVRegs, CR.Alloc.MaxGraphNodes);
+    if (R.ReturnValue != RefRun.ReturnValue) {
+      std::fprintf(stderr, "MISCOMPILE!\n");
+      return 1;
+    }
+  }
+  std::printf("\nBoth allocations verified against the reference run.\n");
+  return 0;
+}

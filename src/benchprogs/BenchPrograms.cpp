@@ -1,0 +1,114 @@
+//===- benchprogs/BenchPrograms.cpp - Table 1 workload registry -------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchprogs/BenchPrograms.h"
+
+#include <cstring>
+#include <string>
+
+namespace rap {
+
+// Livermore + Linpack (BenchProgramsLivermore.cpp).
+extern const char *LivermoreK1, *LivermoreK2, *LivermoreK3, *LivermoreK4,
+    *LivermoreK5, *LivermoreK6, *LivermoreK7, *LivermoreK9, *LivermoreK10,
+    *LivermoreK11, *LivermoreK12, *LivermoreK21, *LivermoreK22;
+extern const char *LinpackDaxpy, *LinpackDdot, *LinpackDscal, *LinpackIdamax,
+    *LinpackDmxpy;
+
+// Misc (BenchProgramsMisc.cpp).
+extern const char *MiscHsort, *MiscHanoi, *MiscNsieve, *MiscSieve;
+
+// Stanford (BenchProgramsStanford.cpp).
+extern const char *StanfordInitmatrix, *StanfordInnerproduct, *StanfordIntmm,
+    *StanfordSwap, *StanfordInitialize, *StanfordPermute, *StanfordPerm,
+    *PuzzleCommon, *StanfordFit, *StanfordPlace, *StanfordRemove,
+    *StanfordTrial, *StanfordPuzzle, *QueensCommon, *StanfordQueens,
+    *StanfordTry, *StanfordDoit;
+
+namespace {
+
+/// Splices the shared Puzzle/Queens routine bodies into program sources
+/// that start with a placeholder line.
+std::string assemble(const char *Source) {
+  std::string S(Source);
+  auto Substitute = [&](const char *Tag, const char *Body) {
+    size_t Pos = S.find(Tag);
+    if (Pos != std::string::npos)
+      S.replace(Pos, std::strlen(Tag), Body);
+  };
+  Substitute("PUZZLE_COMMON", PuzzleCommon);
+  Substitute("QUEENS_COMMON", QueensCommon);
+  return S;
+}
+
+std::vector<BenchProgram> buildPrograms() {
+  // Assembled sources need stable storage for the returned const char*.
+  static std::vector<std::string> Storage;
+  auto Add = [&](const char *Name, const char *Group,
+                 const char *Source) -> BenchProgram {
+    Storage.push_back(assemble(Source));
+    return BenchProgram{Name, Group, Storage.back().c_str()};
+  };
+
+  std::vector<BenchProgram> P;
+  // Livermore loops (13 of them, as in the paper).
+  P.push_back(Add("loop1", "livermore", LivermoreK1));
+  P.push_back(Add("loop2", "livermore", LivermoreK2));
+  P.push_back(Add("loop3", "livermore", LivermoreK3));
+  P.push_back(Add("loop4", "livermore", LivermoreK4));
+  P.push_back(Add("loop5", "livermore", LivermoreK5));
+  P.push_back(Add("loop6", "livermore", LivermoreK6));
+  P.push_back(Add("loop7", "livermore", LivermoreK7));
+  P.push_back(Add("loop9", "livermore", LivermoreK9));
+  P.push_back(Add("loop10", "livermore", LivermoreK10));
+  P.push_back(Add("loop11", "livermore", LivermoreK11));
+  P.push_back(Add("loop12", "livermore", LivermoreK12));
+  P.push_back(Add("loop21", "livermore", LivermoreK21));
+  P.push_back(Add("loop22", "livermore", LivermoreK22));
+  // cLinpack routines.
+  P.push_back(Add("daxpy", "linpack", LinpackDaxpy));
+  P.push_back(Add("ddot", "linpack", LinpackDdot));
+  P.push_back(Add("dscal", "linpack", LinpackDscal));
+  P.push_back(Add("idamax", "linpack", LinpackIdamax));
+  P.push_back(Add("dmxpy", "linpack", LinpackDmxpy));
+  // Heapsort, hanoi, sieves.
+  P.push_back(Add("hsort", "misc", MiscHsort));
+  P.push_back(Add("hanoi", "misc", MiscHanoi));
+  P.push_back(Add("nsieve", "misc", MiscNsieve));
+  P.push_back(Add("sieve", "misc", MiscSieve));
+  // Stanford routines.
+  P.push_back(Add("initmatrix", "stanford", StanfordInitmatrix));
+  P.push_back(Add("innerproduct", "stanford", StanfordInnerproduct));
+  P.push_back(Add("intmm", "stanford", StanfordIntmm));
+  P.push_back(Add("permute", "stanford", StanfordPermute));
+  P.push_back(Add("swap", "stanford", StanfordSwap));
+  P.push_back(Add("initialize", "stanford", StanfordInitialize));
+  P.push_back(Add("perm", "stanford", StanfordPerm));
+  P.push_back(Add("fit", "stanford", StanfordFit));
+  P.push_back(Add("place", "stanford", StanfordPlace));
+  P.push_back(Add("trial", "stanford", StanfordTrial));
+  P.push_back(Add("remove", "stanford", StanfordRemove));
+  P.push_back(Add("puzzle", "stanford", StanfordPuzzle));
+  P.push_back(Add("queens", "stanford", StanfordQueens));
+  P.push_back(Add("try", "stanford", StanfordTry));
+  P.push_back(Add("doit", "stanford", StanfordDoit));
+  return P;
+}
+
+} // namespace
+} // namespace rap
+
+const std::vector<rap::BenchProgram> &rap::benchPrograms() {
+  static std::vector<BenchProgram> Programs = buildPrograms();
+  return Programs;
+}
+
+const rap::BenchProgram *rap::findBenchProgram(const char *Name) {
+  for (const BenchProgram &P : benchPrograms())
+    if (std::strcmp(P.Name, Name) == 0)
+      return &P;
+  return nullptr;
+}

@@ -1,0 +1,40 @@
+//===- benchprogs/BenchPrograms.h - Table 1 workloads -----------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 37 benchmark routines of the paper's Table 1, ported to MiniC:
+/// 13 Livermore loops, 5 cLinpack routines, heapsort, hanoi, two sieves,
+/// and 15 Stanford-suite routines. Every program's main() returns a
+/// checksum so the harness can verify each allocated binary against the
+/// unallocated reference run. Two substitutions versus the 1994 originals
+/// are documented in DESIGN.md: problem sizes are scaled for interpretation,
+/// and Livermore kernel 22's exp() uses a rational surrogate (MiniC has no
+/// transcendentals) that preserves the loop's register/memory pattern.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_BENCHPROGS_BENCHPROGRAMS_H
+#define RAP_BENCHPROGS_BENCHPROGRAMS_H
+
+#include <vector>
+
+namespace rap {
+
+struct BenchProgram {
+  const char *Name;   ///< the Table 1 row label
+  const char *Group;  ///< "livermore", "linpack", "misc", "stanford"
+  const char *Source; ///< MiniC source; main() returns the checksum
+};
+
+/// All 37 Table 1 programs, in the paper's row order.
+const std::vector<BenchProgram> &benchPrograms();
+
+/// Finds a program by name; returns nullptr when absent.
+const BenchProgram *findBenchProgram(const char *Name);
+
+} // namespace rap
+
+#endif // RAP_BENCHPROGS_BENCHPROGRAMS_H

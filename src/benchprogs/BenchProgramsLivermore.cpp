@@ -1,0 +1,458 @@
+//===- benchprogs/BenchProgramsLivermore.cpp - Livermore + Linpack ----------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniC ports of the 13 Livermore loops and 5 cLinpack routines used by
+/// Table 1. Kernels keep the original loop structure and reference pattern;
+/// problem sizes are scaled for interpretation (DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchprogs/BenchPrograms.h"
+
+namespace rap {
+
+const char *LivermoreK1 = R"(
+/* Livermore kernel 1: hydro fragment. */
+float x[440]; float y[440]; float z[440];
+int main() {
+  int n = 400;
+  for (int i = 0; i < n + 11; i = i + 1) { z[i] = 0.01 * i; }
+  for (int i = 0; i < n; i = i + 1) { y[i] = 0.002 * i; x[i] = 0.0; }
+  float q = 0.5; float r = 4.86; float t = 276.0;
+  for (int l = 0; l < 3; l = l + 1) {
+    for (int k = 0; k < n; k = k + 1) {
+      x[k] = q + y[k] * (r * z[k + 10] + t * z[k + 11]);
+    }
+  }
+  float s = 0.0;
+  for (int k = 0; k < n; k = k + 1) { s = s + x[k]; }
+  return s;
+}
+)";
+
+const char *LivermoreK2 = R"(
+/* Livermore kernel 2: ICCG excerpt (incomplete Cholesky, conjugate
+   gradient); the halving loop is the interesting control structure. */
+float x[1024]; float v[1024];
+int main() {
+  int n = 512;
+  for (int i = 0; i < 2 * n; i = i + 1) {
+    x[i] = 0.0001 * (i + 1);
+    v[i] = 0.0002 * (i + 1);
+  }
+  for (int l = 0; l < 3; l = l + 1) {
+    int ii = n;
+    int ipntp = 0;
+    while (ii > 0) {
+      int ipnt = ipntp;
+      ipntp = ipntp + ii;
+      ii = ii / 2;
+      int i = ipntp - 1;
+      for (int k = ipnt + 1; k < ipntp; k = k + 2) {
+        i = i + 1;
+        x[i] = x[k] - v[k] * x[k - 1] - v[k + 1] * x[k + 1];
+      }
+    }
+  }
+  float s = 0.0;
+  for (int k = 0; k < 2 * n; k = k + 1) { s = s + x[k]; }
+  return s * 1000000.0;
+}
+)";
+
+const char *LivermoreK3 = R"(
+/* Livermore kernel 3: inner product. */
+float x[600]; float z[600];
+int main() {
+  int n = 600;
+  for (int i = 0; i < n; i = i + 1) {
+    x[i] = 0.001 * i;
+    z[i] = 0.002 * (n - i);
+  }
+  float q = 0.0;
+  for (int l = 0; l < 5; l = l + 1) {
+    for (int k = 0; k < n; k = k + 1) {
+      q = q + z[k] * x[k];
+    }
+  }
+  return q;
+}
+)";
+
+const char *LivermoreK4 = R"(
+/* Livermore kernel 4: banded linear equations. */
+float x[1300]; float y[1300];
+int main() {
+  int n = 1000;
+  for (int i = 0; i < 1300; i = i + 1) {
+    x[i] = 0.001 * (i + 1);
+    y[i] = 1.0 / (i + 1);
+  }
+  int m = (1001 - 7) / 2;
+  for (int l = 0; l < 4; l = l + 1) {
+    for (int k = 6; k < 1001; k = k + m) {
+      int lw = k - 6;
+      float temp = x[k - 1];
+      for (int j = 4; j < n; j = j + 5) {
+        temp = temp - x[lw] * y[j];
+        lw = lw + 1;
+      }
+      x[k - 1] = y[4] * temp;
+    }
+  }
+  float s = 0.0;
+  for (int k = 0; k < n; k = k + 1) { s = s + x[k]; }
+  return s * 1000.0;
+}
+)";
+
+const char *LivermoreK5 = R"(
+/* Livermore kernel 5: tri-diagonal elimination, below diagonal. */
+float x[1000]; float y[1000]; float z[1000];
+int main() {
+  int n = 1000;
+  for (int i = 0; i < n; i = i + 1) {
+    x[i] = 0.0;
+    y[i] = 0.0001 * (i + 1);
+    z[i] = 0.5 + 0.0001 * i;
+  }
+  x[0] = 1.0;
+  for (int l = 0; l < 3; l = l + 1) {
+    for (int i = 1; i < n; i = i + 1) {
+      x[i] = z[i] * (y[i] - x[i - 1]);
+    }
+  }
+  float s = 0.0;
+  for (int i = 0; i < n; i = i + 1) { s = s + x[i]; }
+  return s * 1000000.0;
+}
+)";
+
+const char *LivermoreK6 = R"(
+/* Livermore kernel 6: general linear recurrence equations. */
+float w[64]; float b[4096];
+int main() {
+  int n = 60;
+  for (int i = 0; i < n; i = i + 1) {
+    w[i] = 0.01;
+    for (int k = 0; k < n; k = k + 1) {
+      b[k * n + i] = 0.0001 * (k + i + 2);
+    }
+  }
+  for (int l = 0; l < 4; l = l + 1) {
+    for (int i = 1; i < n; i = i + 1) {
+      w[i] = 0.0100;
+      for (int k = 0; k < i; k = k + 1) {
+        w[i] = w[i] + b[k * n + i] * w[(i - k) - 1];
+      }
+    }
+  }
+  float s = 0.0;
+  for (int i = 0; i < n; i = i + 1) { s = s + w[i]; }
+  return s * 100000.0;
+}
+)";
+
+const char *LivermoreK7 = R"(
+/* Livermore kernel 7: equation of state fragment (high register
+   pressure: one large expression over four arrays). */
+float x[512]; float y[512]; float z[512]; float u[512];
+int main() {
+  int n = 480;
+  for (int i = 0; i < n + 6; i = i + 1) {
+    u[i] = 0.0005 * (i + 1);
+  }
+  for (int i = 0; i < n; i = i + 1) {
+    x[i] = 0.0;
+    y[i] = 0.001 * i;
+    z[i] = 0.002 * i;
+  }
+  float r = 4.86; float q = 0.000001; float t = 276.0;
+  for (int l = 0; l < 2; l = l + 1) {
+    for (int k = 0; k < n; k = k + 1) {
+      x[k] = u[k] + r * (z[k] + r * y[k]) +
+             t * (u[k + 3] + r * (u[k + 2] + r * u[k + 1]) +
+                  t * (u[k + 6] + q * (u[k + 5] + q * u[k + 4])));
+    }
+  }
+  float s = 0.0;
+  for (int k = 0; k < n; k = k + 1) { s = s + x[k]; }
+  return s;
+}
+)";
+
+const char *LivermoreK9 = R"(
+/* Livermore kernel 9: integrate predictors (13-wide rows, flattened). */
+float px[3328];
+int main() {
+  int n = 256;
+  for (int i = 0; i < n; i = i + 1) {
+    for (int j = 0; j < 13; j = j + 1) {
+      px[i * 13 + j] = 0.001 * (i + j + 1);
+    }
+  }
+  float dm22 = 0.2; float dm23 = 0.3; float dm24 = 0.4; float dm25 = 0.5;
+  float dm26 = 0.6; float dm27 = 0.7; float dm28 = 0.8; float c0 = 1.5;
+  float flx = 0.001;
+  for (int l = 0; l < 3; l = l + 1) {
+    for (int i = 0; i < n; i = i + 1) {
+      px[i * 13] =
+          dm28 * px[i * 13 + 12] + dm27 * px[i * 13 + 11] +
+          dm26 * px[i * 13 + 10] + dm25 * px[i * 13 + 9] +
+          dm24 * px[i * 13 + 8] + dm23 * px[i * 13 + 7] +
+          dm22 * px[i * 13 + 6] +
+          c0 * (px[i * 13 + 4] + px[i * 13 + 5]) + flx;
+    }
+  }
+  float s = 0.0;
+  for (int i = 0; i < n; i = i + 1) { s = s + px[i * 13]; }
+  return s * 100.0;
+}
+)";
+
+const char *LivermoreK10 = R"(
+/* Livermore kernel 10: difference predictors (long scalar chains keep
+   many values live at once). */
+float px[3328]; float cx[3328];
+int main() {
+  int n = 256;
+  for (int i = 0; i < n; i = i + 1) {
+    for (int j = 0; j < 13; j = j + 1) {
+      px[i * 13 + j] = 0.001 * (i + j + 1);
+      cx[i * 13 + j] = 0.0007 * (i + 2 * j + 1);
+    }
+  }
+  for (int l = 0; l < 2; l = l + 1) {
+    for (int i = 0; i < n; i = i + 1) {
+      float ar = cx[i * 13 + 4];
+      float br = ar - px[i * 13 + 4];
+      px[i * 13 + 4] = ar;
+      float cr = br - px[i * 13 + 5];
+      px[i * 13 + 5] = br;
+      float ar2 = cr - px[i * 13 + 6];
+      px[i * 13 + 6] = cr;
+      float br2 = ar2 - px[i * 13 + 7];
+      px[i * 13 + 7] = ar2;
+      float cr2 = br2 - px[i * 13 + 8];
+      px[i * 13 + 8] = br2;
+      float ar3 = cr2 - px[i * 13 + 9];
+      px[i * 13 + 9] = cr2;
+      float br3 = ar3 - px[i * 13 + 10];
+      px[i * 13 + 10] = ar3;
+      float cr3 = br3 - px[i * 13 + 11];
+      px[i * 13 + 11] = br3;
+      px[i * 13 + 12] = cr3;
+    }
+  }
+  float s = 0.0;
+  for (int i = 0; i < n; i = i + 1) {
+    s = s + px[i * 13 + 12] + px[i * 13 + 7];
+  }
+  return s * 1000.0;
+}
+)";
+
+const char *LivermoreK11 = R"(
+/* Livermore kernel 11: first sum (prefix sum recurrence). */
+float x[1000]; float y[1000];
+int main() {
+  int n = 1000;
+  for (int i = 0; i < n; i = i + 1) { y[i] = 0.0001 * (i + 1); }
+  for (int l = 0; l < 4; l = l + 1) {
+    x[0] = y[0];
+    for (int k = 1; k < n; k = k + 1) {
+      x[k] = x[k - 1] + y[k];
+    }
+  }
+  return x[n - 1] * 100.0;
+}
+)";
+
+const char *LivermoreK12 = R"(
+/* Livermore kernel 12: first difference. */
+float x[1024]; float y[1024];
+int main() {
+  int n = 1000;
+  for (int i = 0; i < n + 1; i = i + 1) { y[i] = 0.001 * i * i; }
+  for (int l = 0; l < 4; l = l + 1) {
+    for (int k = 0; k < n; k = k + 1) {
+      x[k] = y[k + 1] - y[k];
+    }
+  }
+  float s = 0.0;
+  for (int k = 0; k < n; k = k + 1) { s = s + x[k]; }
+  return s;
+}
+)";
+
+const char *LivermoreK21 = R"(
+/* Livermore kernel 21: matrix * matrix product (25x25). */
+float px[625]; float vy[625]; float cx[625];
+int main() {
+  int n = 25;
+  for (int i = 0; i < n * n; i = i + 1) {
+    px[i] = 0.0;
+    vy[i] = 0.001 * (i + 1);
+    cx[i] = 0.5 / (i + 1);
+  }
+  for (int l = 0; l < 2; l = l + 1) {
+    for (int k = 0; k < n; k = k + 1) {
+      for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+          px[i * n + j] = px[i * n + j] + vy[i * n + k] * cx[k * n + j];
+        }
+      }
+    }
+  }
+  float s = 0.0;
+  for (int i = 0; i < n * n; i = i + 1) { s = s + px[i]; }
+  return s;
+}
+)";
+
+const char *LivermoreK22 = R"(
+/* Livermore kernel 22: Planckian distribution. MiniC has no exp(); the
+   paper's w = x / (exp(y) - 1) uses a rational surrogate with the same
+   loads, stores, and live values per iteration (see DESIGN.md). */
+float x[512]; float y[512]; float u[512]; float v[512]; float w[512];
+int main() {
+  int n = 500;
+  for (int i = 0; i < n; i = i + 1) {
+    x[i] = 0.001 * (i + 1);
+    u[i] = 0.5 + 0.002 * i;
+    v[i] = 1.0 + 0.001 * i;
+    w[i] = 0.0;
+  }
+  for (int l = 0; l < 4; l = l + 1) {
+    for (int k = 0; k < n; k = k + 1) {
+      y[k] = u[k] / v[k];
+      w[k] = x[k] / (y[k] * y[k] + y[k] + 0.5);
+    }
+  }
+  float s = 0.0;
+  for (int k = 0; k < n; k = k + 1) { s = s + w[k]; }
+  return s * 1000.0;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// cLinpack routines
+//===----------------------------------------------------------------------===//
+
+const char *LinpackDaxpy = R"(
+/* Linpack daxpy: y = y + a*x. */
+float dx[800]; float dy[800];
+int main() {
+  int n = 800;
+  for (int i = 0; i < n; i = i + 1) {
+    dx[i] = 0.001 * (i + 1);
+    dy[i] = 0.5 / (i + 1);
+  }
+  float da = 3.14159;
+  for (int l = 0; l < 5; l = l + 1) {
+    for (int i = 0; i < n; i = i + 1) {
+      dy[i] = dy[i] + da * dx[i];
+    }
+  }
+  float s = 0.0;
+  for (int i = 0; i < n; i = i + 1) { s = s + dy[i]; }
+  return s;
+}
+)";
+
+const char *LinpackDdot = R"(
+/* Linpack ddot: dot product with an accumulating scalar. */
+float dx[800]; float dy[800];
+int main() {
+  int n = 800;
+  for (int i = 0; i < n; i = i + 1) {
+    dx[i] = 0.002 * (i + 1);
+    dy[i] = 1.0 / (i + 2);
+  }
+  float dtemp = 0.0;
+  for (int l = 0; l < 5; l = l + 1) {
+    for (int i = 0; i < n; i = i + 1) {
+      dtemp = dtemp + dx[i] * dy[i];
+    }
+  }
+  return dtemp * 100.0;
+}
+)";
+
+const char *LinpackDscal = R"(
+/* Linpack dscal: x = a*x. */
+float dx[1000];
+int main() {
+  int n = 1000;
+  for (int i = 0; i < n; i = i + 1) { dx[i] = 0.001 * (i + 1); }
+  float da = 1.0001;
+  for (int l = 0; l < 8; l = l + 1) {
+    for (int i = 0; i < n; i = i + 1) {
+      dx[i] = da * dx[i];
+    }
+  }
+  float s = 0.0;
+  for (int i = 0; i < n; i = i + 1) { s = s + dx[i]; }
+  return s;
+}
+)";
+
+const char *LinpackIdamax = R"(
+/* Linpack idamax: index of the element with the largest magnitude. */
+float dx[1000];
+int main() {
+  int n = 1000;
+  for (int i = 0; i < n; i = i + 1) {
+    int m = (i * 37) % 100;
+    dx[i] = 0.01 * m - 0.5;
+  }
+  int acc = 0;
+  for (int l = 0; l < 6; l = l + 1) {
+    int itemp = 0;
+    float dmax = dx[0];
+    if (dmax < 0.0) { dmax = -dmax; }
+    for (int i = 1; i < n; i = i + 1) {
+      float d = dx[i];
+      if (d < 0.0) { d = -d; }
+      if (d > dmax) {
+        itemp = i;
+        dmax = d;
+      }
+    }
+    acc = acc + itemp;
+    dx[l * 50] = 2.0 + l;
+  }
+  return acc;
+}
+)";
+
+const char *LinpackDmxpy = R"(
+/* Linpack dmxpy: y = y + M*x (matrix-vector multiply-add). */
+float m[1600]; float xv[40]; float yv[40];
+int main() {
+  int n = 40;
+  for (int i = 0; i < n; i = i + 1) {
+    xv[i] = 0.01 * (i + 1);
+    yv[i] = 0.0;
+    for (int j = 0; j < n; j = j + 1) {
+      m[j * n + i] = 0.001 * (i + j + 1);
+    }
+  }
+  for (int l = 0; l < 6; l = l + 1) {
+    for (int j = 0; j < n; j = j + 1) {
+      for (int i = 0; i < n; i = i + 1) {
+        yv[i] = yv[i] + xv[j] * m[j * n + i];
+      }
+    }
+  }
+  float s = 0.0;
+  for (int i = 0; i < n; i = i + 1) { s = s + yv[i]; }
+  return s * 10.0;
+}
+)";
+
+} // namespace rap

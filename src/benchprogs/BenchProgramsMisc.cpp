@@ -1,0 +1,131 @@
+//===- benchprogs/BenchProgramsMisc.cpp - heapsort, hanoi, sieves -----------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchprogs/BenchPrograms.h"
+
+namespace rap {
+
+const char *MiscHsort = R"(
+/* Heapsort over 300 pseudo-random integers. */
+int a[301];
+int n;
+void siftdown(int l, int r) {
+  int i = l;
+  int done = 0;
+  while (done == 0) {
+    int j = 2 * i;
+    if (j > r) {
+      done = 1;
+    } else {
+      if (j < r) {
+        if (a[j] < a[j + 1]) { j = j + 1; }
+      }
+      if (a[i] < a[j]) {
+        int t = a[i];
+        a[i] = a[j];
+        a[j] = t;
+        i = j;
+      } else {
+        done = 1;
+      }
+    }
+  }
+}
+int main() {
+  n = 300;
+  int seed = 74755;
+  for (int i = 1; i <= n; i = i + 1) {
+    seed = (seed * 1309 + 13849) % 65536;
+    a[i] = seed;
+  }
+  for (int l = n / 2; l >= 1; l = l - 1) {
+    siftdown(l, n);
+  }
+  for (int r = n; r >= 2; r = r - 1) {
+    int t = a[1];
+    a[1] = a[r];
+    a[r] = t;
+    siftdown(1, r - 1);
+  }
+  int chk = 0;
+  for (int i = 1; i <= n; i = i + 1) {
+    chk = chk * 3 % 100000 + a[i] % 977;
+  }
+  int sorted = 1;
+  for (int i = 1; i < n; i = i + 1) {
+    if (a[i] > a[i + 1]) { sorted = 0; }
+  }
+  return chk * 10 + sorted;
+}
+)";
+
+const char *MiscHanoi = R"(
+/* Towers of Hanoi, 12 discs; pegs are numbered 1..3 so the spare peg is
+   6 - from - to (keeps every function at most three parameters). */
+int moves;
+void mov(int n, int f, int t) {
+  if (n == 1) {
+    moves = moves + 1;
+    return;
+  }
+  int o = 6 - f - t;
+  mov(n - 1, f, o);
+  moves = moves + 1;
+  mov(n - 1, o, t);
+}
+int main() {
+  moves = 0;
+  mov(12, 1, 3);
+  return moves;
+}
+)";
+
+const char *MiscNsieve = R"(
+/* nsieve: count primes below 4000 with a byte-per-candidate sieve. */
+int flags[4000];
+int main() {
+  int n = 4000;
+  int count = 0;
+  for (int pass = 0; pass < 2; pass = pass + 1) {
+    count = 0;
+    for (int i = 2; i < n; i = i + 1) { flags[i] = 1; }
+    for (int i = 2; i < n; i = i + 1) {
+      if (flags[i] == 1) {
+        for (int k = i + i; k < n; k = k + i) {
+          flags[k] = 0;
+        }
+        count = count + 1;
+      }
+    }
+  }
+  return count;
+}
+)";
+
+const char *MiscSieve = R"(
+/* The classic BYTE sieve: odd numbers only, flags[i] represents 2i+3. */
+int flags[8191];
+int main() {
+  int size = 8190;
+  int count = 0;
+  for (int iter = 0; iter < 2; iter = iter + 1) {
+    count = 0;
+    for (int i = 0; i <= size; i = i + 1) { flags[i] = 1; }
+    for (int i = 0; i <= size; i = i + 1) {
+      if (flags[i] == 1) {
+        int prime = i + i + 3;
+        for (int k = i + prime; k <= size; k = k + prime) {
+          flags[k] = 0;
+        }
+        count = count + 1;
+      }
+    }
+  }
+  return count;
+}
+)";
+
+} // namespace rap

@@ -1,0 +1,477 @@
+//===- benchprogs/BenchProgramsStanford.cpp - Stanford routines -------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniC ports of the Stanford-suite routines Table 1 reports: the Intmm
+/// family (initmatrix, innerproduct, intmm), the Perm family (permute,
+/// swap, initialize, perm), the Puzzle family (fit, place, trial, remove,
+/// puzzle), and the Queens family (queens, try, doit). Each row is a
+/// program whose hot code is the named routine, mirroring the paper's
+/// per-routine reporting.
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchprogs/BenchPrograms.h"
+
+namespace rap {
+
+//===----------------------------------------------------------------------===//
+// Intmm family (integer matrix multiply, 40x40 flattened)
+//===----------------------------------------------------------------------===//
+
+const char *StanfordInitmatrix = R"(
+/* Intmm's Initrand/Initmatrix: fill a matrix with bounded pseudo-random
+   values. */
+int rma[1600];
+int seed;
+int rand100() {
+  seed = (seed * 1309 + 13849) % 65536;
+  return seed % 120 - 60;
+}
+void initmatrix(int base) {
+  for (int i = 0; i < 40; i = i + 1) {
+    for (int j = 0; j < 40; j = j + 1) {
+      rma[base + i * 40 + j] = rand100();
+    }
+  }
+}
+int main() {
+  seed = 74755;
+  int chk = 0;
+  for (int pass = 0; pass < 6; pass = pass + 1) {
+    initmatrix(0);
+    chk = chk + rma[pass * 41] + rma[1599 - pass];
+  }
+  return chk;
+}
+)";
+
+const char *StanfordInnerproduct = R"(
+/* Intmm's Innerproduct: result of one row times one column. */
+int rma[1600]; int rmb[1600];
+int innerproduct(int row, int col) {
+  int result = 0;
+  for (int k = 0; k < 40; k = k + 1) {
+    result = result + rma[row * 40 + k] * rmb[k * 40 + col];
+  }
+  return result;
+}
+int main() {
+  for (int i = 0; i < 1600; i = i + 1) {
+    rma[i] = i % 23 - 11;
+    rmb[i] = i % 17 - 8;
+  }
+  int chk = 0;
+  for (int pass = 0; pass < 8; pass = pass + 1) {
+    for (int r = 0; r < 40; r = r + 1) {
+      chk = chk + innerproduct(r, (r + pass) % 40);
+    }
+  }
+  return chk;
+}
+)";
+
+const char *StanfordIntmm = R"(
+/* Intmm: full 40x40 integer matrix multiply. */
+int rma[1600]; int rmb[1600]; int rmr[1600];
+int seed;
+int rand100() {
+  seed = (seed * 1309 + 13849) % 65536;
+  return seed % 120 - 60;
+}
+int innerproduct(int row, int col) {
+  int result = 0;
+  for (int k = 0; k < 40; k = k + 1) {
+    result = result + rma[row * 40 + k] * rmb[k * 40 + col];
+  }
+  return result;
+}
+int main() {
+  seed = 74755;
+  for (int i = 0; i < 1600; i = i + 1) {
+    seed = (seed * 1309 + 13849) % 65536;
+    rma[i] = seed % 120 - 60;
+    seed = (seed * 1309 + 13849) % 65536;
+    rmb[i] = seed % 120 - 60;
+  }
+  for (int i = 0; i < 40; i = i + 1) {
+    for (int j = 0; j < 40; j = j + 1) {
+      rmr[i * 40 + j] = innerproduct(i, j);
+    }
+  }
+  int chk = 0;
+  for (int i = 0; i < 1600; i = i + 1) {
+    chk = chk * 3 % 1000000 + rmr[i] % 997;
+  }
+  return chk;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// Perm family (recursive permutation generation over 7 elements)
+//===----------------------------------------------------------------------===//
+
+const char *StanfordSwap = R"(
+/* Perm's Swap, exercised by repeated in-place reversals. */
+int v[64];
+void swap(int a, int b) {
+  int t = v[a];
+  v[a] = v[b];
+  v[b] = t;
+}
+int main() {
+  int n = 64;
+  for (int i = 0; i < n; i = i + 1) { v[i] = i * 7 % 53; }
+  for (int pass = 0; pass < 400; pass = pass + 1) {
+    int i = 0;
+    int j = n - 1;
+    while (i < j) {
+      swap(i, j);
+      i = i + 1;
+      j = j - 1;
+    }
+  }
+  int chk = 0;
+  for (int i = 0; i < n; i = i + 1) { chk = chk * 5 % 100000 + v[i]; }
+  return chk;
+}
+)";
+
+const char *StanfordInitialize = R"(
+/* Perm's Initialize: reset the permutation array between trials. */
+int permarray[12];
+int main() {
+  int chk = 0;
+  for (int pass = 0; pass < 3000; pass = pass + 1) {
+    for (int i = 0; i <= 7; i = i + 1) {
+      permarray[i] = i - 1;
+    }
+    chk = chk + permarray[7];
+  }
+  return chk;
+}
+)";
+
+const char *StanfordPermute = R"(
+/* Perm's Permute: the recursive heart of the benchmark. */
+int permarray[12];
+int pctr;
+void swap(int a, int b) {
+  int t = permarray[a];
+  permarray[a] = permarray[b];
+  permarray[b] = t;
+}
+void permute(int n) {
+  pctr = pctr + 1;
+  if (n != 1) {
+    permute(n - 1);
+    for (int k = n - 1; k >= 1; k = k - 1) {
+      swap(n, k);
+      permute(n - 1);
+      swap(n, k);
+    }
+  }
+}
+int main() {
+  pctr = 0;
+  for (int i = 0; i <= 7; i = i + 1) { permarray[i] = i - 1; }
+  permute(7);
+  return pctr;
+}
+)";
+
+const char *StanfordPerm = R"(
+/* Perm: the full benchmark — five rounds of permuting 7 elements. */
+int permarray[12];
+int pctr;
+void swap(int a, int b) {
+  int t = permarray[a];
+  permarray[a] = permarray[b];
+  permarray[b] = t;
+}
+void permute(int n) {
+  pctr = pctr + 1;
+  if (n != 1) {
+    permute(n - 1);
+    for (int k = n - 1; k >= 1; k = k - 1) {
+      swap(n, k);
+      permute(n - 1);
+      swap(n, k);
+    }
+  }
+}
+int main() {
+  pctr = 0;
+  for (int trial = 0; trial < 5; trial = trial + 1) {
+    for (int i = 0; i <= 7; i = i + 1) { permarray[i] = i - 1; }
+    permute(7);
+  }
+  return pctr;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// Puzzle family (Baskett's bin-packing puzzle, 1-D reduction)
+//===----------------------------------------------------------------------===//
+
+// A faithful reduction of Forest Baskett's Puzzle: pieces are interval
+// shapes over a 1-D board; fit/place/remove/trial keep the original
+// control structure (early-exit scans, recursive trial with backtracking).
+
+const char *PuzzleCommon = R"(
+int board[140];     /* 1 = occupied */
+int shape[64];      /* 4 classes x 16 offsets; -1 terminates */
+int pieceCount[4];  /* remaining pieces per class */
+int kount;
+int size;
+
+void initShapes() {
+  for (int i = 0; i < 64; i = i + 1) { shape[i] = -1; }
+  /* class 0: run of 2 */
+  shape[0] = 0; shape[1] = 1;
+  /* class 1: run of 3 */
+  shape[16] = 0; shape[17] = 1; shape[18] = 2;
+  /* class 2: spaced pair */
+  shape[32] = 0; shape[33] = 2;
+  /* class 3: run of 5 */
+  shape[48] = 0; shape[49] = 1; shape[50] = 2; shape[51] = 3; shape[52] = 4;
+}
+
+int fit(int c, int pos) {
+  int k = 0;
+  int ok = 1;
+  while (shape[c * 16 + k] >= 0) {
+    if (board[pos + shape[c * 16 + k]] == 1) { ok = 0; }
+    k = k + 1;
+  }
+  return ok;
+}
+
+int place(int c, int pos) {
+  int k = 0;
+  while (shape[c * 16 + k] >= 0) {
+    board[pos + shape[c * 16 + k]] = 1;
+    k = k + 1;
+  }
+  pieceCount[c] = pieceCount[c] - 1;
+  int i = pos;
+  while (i < size) {
+    if (board[i] == 0) { return i; }
+    i = i + 1;
+  }
+  return size; /* board full */
+}
+
+void removePiece(int c, int pos) {
+  int k = 0;
+  while (shape[c * 16 + k] >= 0) {
+    board[pos + shape[c * 16 + k]] = 0;
+    k = k + 1;
+  }
+  pieceCount[c] = pieceCount[c] + 1;
+}
+
+int trial(int pos) {
+  kount = kount + 1;
+  if (pos >= size) { return 1; }
+  for (int c = 0; c < 4; c = c + 1) {
+    if (pieceCount[c] > 0) {
+      if (fit(c, pos)) {
+        int nextPos = place(c, pos);
+        if (trial(nextPos) == 1) { return 1; }
+        removePiece(c, pos);
+      }
+    }
+  }
+  return 0;
+}
+)";
+
+const char *StanfordFit = R"(
+PUZZLE_COMMON
+int main() {
+  initShapes();
+  size = 120;
+  int hits = 0;
+  for (int pass = 0; pass < 40; pass = pass + 1) {
+    for (int i = 0; i < size; i = i + 1) {
+      board[i] = (i * 7 + pass) % 3 == 0;
+    }
+    for (int c = 0; c < 4; c = c + 1) {
+      for (int pos = 0; pos + 8 < size; pos = pos + 1) {
+        hits = hits + fit(c, pos);
+      }
+    }
+  }
+  return hits;
+}
+)";
+
+const char *StanfordPlace = R"(
+PUZZLE_COMMON
+int main() {
+  initShapes();
+  size = 120;
+  int acc = 0;
+  for (int pass = 0; pass < 120; pass = pass + 1) {
+    for (int i = 0; i < size; i = i + 1) { board[i] = 0; }
+    for (int c = 0; c < 4; c = c + 1) { pieceCount[c] = 6; }
+    for (int c = 0; c < 4; c = c + 1) {
+      int pos = pass % 40;
+      if (fit(c, pos)) {
+        acc = acc + place(c, pos);
+      }
+    }
+  }
+  return acc;
+}
+)";
+
+const char *StanfordRemove = R"(
+PUZZLE_COMMON
+int main() {
+  initShapes();
+  size = 120;
+  int acc = 0;
+  for (int pass = 0; pass < 120; pass = pass + 1) {
+    for (int i = 0; i < size; i = i + 1) { board[i] = 0; }
+    for (int c = 0; c < 4; c = c + 1) { pieceCount[c] = 6; }
+    for (int c = 0; c < 4; c = c + 1) {
+      int pos = (pass * 3) % 40;
+      if (fit(c, pos)) {
+        place(c, pos);
+        removePiece(c, pos);
+        acc = acc + pieceCount[c];
+      }
+    }
+    acc = acc + board[pass % size];
+  }
+  return acc;
+}
+)";
+
+const char *StanfordTrial = R"(
+PUZZLE_COMMON
+int main() {
+  initShapes();
+  size = 22;
+  kount = 0;
+  int solved = 0;
+  for (int pass = 0; pass < 6; pass = pass + 1) {
+    for (int i = 0; i < 140; i = i + 1) { board[i] = 0; }
+    for (int i = size; i < 140; i = i + 1) { board[i] = 1; }
+    board[pass] = 1;
+    pieceCount[0] = 2;
+    pieceCount[1] = 2;
+    pieceCount[2] = 2;
+    pieceCount[3] = 2;
+    int start = 0;
+    while (board[start] == 1) { start = start + 1; }
+    solved = solved + trial(start);
+  }
+  return solved * 1000000 + kount;
+}
+)";
+
+const char *StanfordPuzzle = R"(
+PUZZLE_COMMON
+int main() {
+  initShapes();
+  size = 31;
+  kount = 0;
+  int solved = 0;
+  for (int pass = 0; pass < 3; pass = pass + 1) {
+    for (int i = 0; i < 140; i = i + 1) { board[i] = 0; }
+    for (int i = size; i < 140; i = i + 1) { board[i] = 1; }
+    pieceCount[0] = 2;
+    pieceCount[1] = 2;
+    pieceCount[2] = 3;
+    pieceCount[3] = 3;
+    solved = solved + trial(pass);
+  }
+  return solved * 1000000 + kount;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// Queens family (eight queens with the classic a/b/c occupancy arrays)
+//===----------------------------------------------------------------------===//
+
+const char *QueensCommon = R"(
+int acol[10];   /* column free */
+int bdiag[20];  /* up diagonal free */
+int cdiag[20];  /* down diagonal free */
+int xrow[10];   /* queen position per column */
+int solutions;
+
+void clearBoard(int n) {
+  for (int i = 0; i <= n; i = i + 1) { acol[i] = 1; xrow[i] = 0; }
+  for (int i = 0; i < 2 * n + 2; i = i + 1) { bdiag[i] = 1; cdiag[i] = 1; }
+}
+
+void try(int c, int n) {
+  for (int r = 1; r <= n; r = r + 1) {
+    if (acol[r] == 1) {
+      if (bdiag[r + c] == 1) {
+        if (cdiag[r - c + n] == 1) {
+          xrow[c] = r;
+          acol[r] = 0;
+          bdiag[r + c] = 0;
+          cdiag[r - c + n] = 0;
+          if (c == n) {
+            solutions = solutions + 1;
+          } else {
+            try(c + 1, n);
+          }
+          acol[r] = 1;
+          bdiag[r + c] = 1;
+          cdiag[r - c + n] = 1;
+        }
+      }
+    }
+  }
+}
+)";
+
+const char *StanfordQueens = R"(
+QUEENS_COMMON
+int main() {
+  solutions = 0;
+  clearBoard(8);
+  try(1, 8);
+  return solutions;  /* 92 */
+}
+)";
+
+const char *StanfordTry = R"(
+QUEENS_COMMON
+int main() {
+  /* Exercise the try routine itself on a smaller board, many times. */
+  solutions = 0;
+  for (int pass = 0; pass < 10; pass = pass + 1) {
+    clearBoard(6);
+    try(1, 6);
+  }
+  return solutions;  /* 10 * 4 */
+}
+)";
+
+const char *StanfordDoit = R"(
+QUEENS_COMMON
+int main() {
+  /* The Queens driver: repeat the whole experiment. */
+  int total = 0;
+  for (int i = 1; i <= 4; i = i + 1) {
+    solutions = 0;
+    clearBoard(7);
+    try(1, 7);
+    total = total + solutions;
+  }
+  return total;  /* 4 * 40 */
+}
+)";
+
+} // namespace rap

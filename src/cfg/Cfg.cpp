@@ -1,0 +1,104 @@
+//===- cfg/Cfg.cpp - Control-flow graph -----------------------------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Cfg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+
+using namespace rap;
+
+Cfg::Cfg(const LinearCode &Code) {
+  unsigned N = static_cast<unsigned>(Code.Instrs.size());
+  assert(N > 0 && "cannot build a CFG for an empty function");
+
+  // Compute leaders: entry, branch targets, and instructions after branches.
+  std::set<unsigned> Leaders;
+  Leaders.insert(0);
+  for (unsigned P : Code.LabelPos)
+    if (P < N)
+      Leaders.insert(P);
+  for (unsigned I = 0; I != N; ++I)
+    if (isBranchOpcode(Code.Instrs[I]->Op) && I + 1 < N)
+      Leaders.insert(I + 1);
+
+  // Carve blocks.
+  std::vector<unsigned> Starts(Leaders.begin(), Leaders.end());
+  BlockOfInstr.assign(N, 0);
+  for (size_t I = 0; I != Starts.size(); ++I) {
+    BasicBlock B;
+    B.Begin = Starts[I];
+    B.End = I + 1 < Starts.size() ? Starts[I + 1] : N;
+    for (unsigned P = B.Begin; P != B.End; ++P)
+      BlockOfInstr[P] = static_cast<unsigned>(Blocks.size());
+    Blocks.push_back(B);
+  }
+
+  // Wire edges.
+  auto TargetBlock = [&](int Label) -> int {
+    unsigned P = Code.LabelPos[Label];
+    if (P >= N)
+      return -1; // label at end of function: falls out
+    return static_cast<int>(BlockOfInstr[P]);
+  };
+
+  for (unsigned BId = 0; BId != Blocks.size(); ++BId) {
+    BasicBlock &B = Blocks[BId];
+    const Instr *Last = Code.Instrs[B.End - 1];
+    bool IsExit = false;
+    switch (Last->Op) {
+    case Opcode::Jmp: {
+      int T = TargetBlock(Last->Label0);
+      if (T >= 0)
+        B.Succs.push_back(static_cast<unsigned>(T));
+      else
+        IsExit = true;
+      break;
+    }
+    case Opcode::Cbr: {
+      int T = TargetBlock(Last->Label0);
+      int FT = TargetBlock(Last->Label1);
+      if (T >= 0)
+        B.Succs.push_back(static_cast<unsigned>(T));
+      if (FT >= 0 && FT != T)
+        B.Succs.push_back(static_cast<unsigned>(FT));
+      if (T < 0 || FT < 0)
+        IsExit = true;
+      break;
+    }
+    case Opcode::Ret:
+    case Opcode::Halt:
+      IsExit = true;
+      break;
+    default:
+      if (B.End < N)
+        B.Succs.push_back(BlockOfInstr[B.End]);
+      else
+        IsExit = true;
+      break;
+    }
+    if (IsExit)
+      Exits.push_back(BId);
+  }
+
+  for (unsigned BId = 0; BId != Blocks.size(); ++BId)
+    for (unsigned S : Blocks[BId].Succs)
+      Blocks[S].Preds.push_back(BId);
+}
+
+std::string Cfg::str() const {
+  std::ostringstream OS;
+  for (unsigned BId = 0; BId != Blocks.size(); ++BId) {
+    const BasicBlock &B = Blocks[BId];
+    OS << "B" << BId << " [" << B.Begin << "," << B.End << ") ->";
+    for (unsigned S : B.Succs)
+      OS << " B" << S;
+    OS << "\n";
+  }
+  return OS.str();
+}

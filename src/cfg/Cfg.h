@@ -1,0 +1,55 @@
+//===- cfg/Cfg.h - Control-flow graph ---------------------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic blocks over the linearized ILOC stream. Blocks are index ranges
+/// [Begin, End) into LinearCode::Instrs; the entry block is block 0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_CFG_CFG_H
+#define RAP_CFG_CFG_H
+
+#include "ir/Linearize.h"
+
+#include <string>
+#include <vector>
+
+namespace rap {
+
+struct BasicBlock {
+  unsigned Begin = 0; ///< first instruction index (inclusive)
+  unsigned End = 0;   ///< one past the last instruction index
+  std::vector<unsigned> Succs;
+  std::vector<unsigned> Preds;
+};
+
+class Cfg {
+public:
+  /// Builds the CFG of \p Code. The function must be nonempty.
+  explicit Cfg(const LinearCode &Code);
+
+  unsigned numBlocks() const { return static_cast<unsigned>(Blocks.size()); }
+  const BasicBlock &block(unsigned Id) const { return Blocks[Id]; }
+
+  /// The block containing instruction index \p Pos.
+  unsigned blockOf(unsigned Pos) const { return BlockOfInstr[Pos]; }
+
+  /// Block ids whose terminator leaves the function (Ret/Halt or a jump to
+  /// the end-of-function position).
+  const std::vector<unsigned> &exitBlocks() const { return Exits; }
+
+  std::string str() const;
+
+private:
+  std::vector<BasicBlock> Blocks;
+  std::vector<unsigned> BlockOfInstr;
+  std::vector<unsigned> Exits;
+};
+
+} // namespace rap
+
+#endif // RAP_CFG_CFG_H

@@ -1,0 +1,71 @@
+//===- cfg/Liveness.cpp - Per-instruction liveness --------------------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Liveness.h"
+
+#include <cassert>
+
+using namespace rap;
+
+Liveness::Liveness(const LinearCode &Code, const Cfg &G, unsigned NumVRegs) {
+  unsigned N = static_cast<unsigned>(Code.Instrs.size());
+  unsigned NumBlocks = G.numBlocks();
+
+  // Block-level use (upward exposed) and def sets.
+  std::vector<BitVector> Use(NumBlocks, BitVector(NumVRegs));
+  std::vector<BitVector> Def(NumBlocks, BitVector(NumVRegs));
+  for (unsigned B = 0; B != NumBlocks; ++B) {
+    const BasicBlock &BB = G.block(B);
+    for (unsigned P = BB.Begin; P != BB.End; ++P) {
+      const Instr *I = Code.Instrs[P];
+      for (Reg R : I->Src)
+        if (!Def[B].test(R))
+          Use[B].set(R);
+      if (I->hasDef())
+        Def[B].set(I->Dst);
+    }
+  }
+
+  // Backward fixpoint over blocks.
+  std::vector<BitVector> In(NumBlocks, BitVector(NumVRegs));
+  std::vector<BitVector> Out(NumBlocks, BitVector(NumVRegs));
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned BI = NumBlocks; BI-- > 0;) {
+      BitVector NewOut(NumVRegs);
+      for (unsigned S : G.block(BI).Succs)
+        NewOut.unionWith(In[S]);
+      BitVector NewIn = NewOut;
+      NewIn.subtract(Def[BI]);
+      NewIn.unionWith(Use[BI]);
+      if (NewOut != Out[BI] || NewIn != In[BI]) {
+        Out[BI] = std::move(NewOut);
+        In[BI] = std::move(NewIn);
+        Changed = true;
+      }
+    }
+  }
+
+  // Refine to instruction positions.
+  Before.assign(N + 1, BitVector(NumVRegs));
+  After.assign(N, BitVector(NumVRegs));
+  for (unsigned B = 0; B != NumBlocks; ++B) {
+    const BasicBlock &BB = G.block(B);
+    BitVector Live = Out[B];
+    for (unsigned P = BB.End; P-- > BB.Begin;) {
+      const Instr *I = Code.Instrs[P];
+      After[P] = Live;
+      if (I->hasDef())
+        Live.reset(I->Dst);
+      for (Reg R : I->Src)
+        Live.set(R);
+      Before[P] = Live;
+    }
+    assert(Live == In[B] && "per-instruction refinement disagrees with "
+                            "block-level dataflow");
+  }
+}

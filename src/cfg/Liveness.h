@@ -1,0 +1,63 @@
+//===- cfg/Liveness.h - Per-instruction liveness ----------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backward liveness dataflow over virtual registers, refined to every
+/// instruction position. This is the single liveness oracle shared by both
+/// allocators: interference construction, the region-level live-in/live-out
+/// queries of RAP's calc_spill_costs (paper Figure 5), and spill-code
+/// placement all read from here.
+///
+/// Because structured regions are single-entry and fall through to their
+/// linear successor, LiveIn(region) = liveBefore(LinBegin) and
+/// LiveOut(region) = liveBefore(LinEnd).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_CFG_LIVENESS_H
+#define RAP_CFG_LIVENESS_H
+
+#include "cfg/Cfg.h"
+#include "ir/RegionTree.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace rap {
+
+class Liveness {
+public:
+  /// Computes liveness for \p Code (a linearization of a function with
+  /// \p NumVRegs virtual registers) over \p G.
+  Liveness(const LinearCode &Code, const Cfg &G, unsigned NumVRegs);
+
+  /// Registers live immediately before instruction position \p Pos. The
+  /// position may equal the instruction count (function end: empty set).
+  const BitVector &liveBefore(unsigned Pos) const { return Before[Pos]; }
+
+  /// Registers live immediately after instruction position \p Pos. For a
+  /// block terminator this is the union of the successors' live-ins, not the
+  /// live-before of the next linear position.
+  const BitVector &liveAfter(unsigned Pos) const { return After[Pos]; }
+
+  /// Region-level queries (see file comment).
+  const BitVector &liveInOf(const PdgNode &Region) const {
+    return Before[Region.LinBegin];
+  }
+  const BitVector &liveOutOf(const PdgNode &Region) const {
+    return Before[Region.LinEnd];
+  }
+
+private:
+  /// Before[i] = live before instruction i; Before[N] = empty.
+  std::vector<BitVector> Before;
+  /// After[i] = live after instruction i.
+  std::vector<BitVector> After;
+};
+
+} // namespace rap
+
+#endif // RAP_CFG_LIVENESS_H

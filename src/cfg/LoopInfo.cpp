@@ -1,0 +1,54 @@
+//===- cfg/LoopInfo.cpp - Natural loops ------------------------------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/LoopInfo.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace rap;
+
+LoopInfo::LoopInfo(const Cfg &G, const DominatorTree &Dom) {
+  DepthOfBlock.assign(G.numBlocks(), 0);
+
+  // Collect back edges (Tail -> Header where Header dominates Tail) and
+  // merge the bodies of back edges sharing a header into one natural loop.
+  std::map<unsigned, std::set<unsigned>> BodyOfHeader;
+  for (unsigned B = 0; B != G.numBlocks(); ++B) {
+    for (unsigned S : G.block(B).Succs) {
+      if (!Dom.dominates(S, B))
+        continue;
+      // Natural loop of back edge B -> S: S plus everything that reaches B
+      // without passing through S.
+      std::set<unsigned> &Body = BodyOfHeader[S];
+      Body.insert(S);
+      std::vector<unsigned> Work;
+      if (!Body.count(B)) {
+        Body.insert(B);
+        Work.push_back(B);
+      }
+      while (!Work.empty()) {
+        unsigned Cur = Work.back();
+        Work.pop_back();
+        for (unsigned P : G.block(Cur).Preds) {
+          if (Body.insert(P).second)
+            Work.push_back(P);
+        }
+      }
+    }
+  }
+
+  for (auto &[Header, Body] : BodyOfHeader) {
+    NaturalLoop L;
+    L.Header = Header;
+    L.Blocks.assign(Body.begin(), Body.end());
+    for (unsigned B : L.Blocks)
+      ++DepthOfBlock[B];
+    Loops.push_back(std::move(L));
+  }
+}

@@ -1,0 +1,45 @@
+//===- cfg/LoopInfo.h - Natural loops ---------------------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural-loop detection from dominator-identified back edges. Used by
+/// tests to cross-check that the region tree's loop regions agree with the
+/// CFG, and by the ablation benches to report loop nesting depths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_CFG_LOOPINFO_H
+#define RAP_CFG_LOOPINFO_H
+
+#include "cfg/Cfg.h"
+#include "cfg/Dominators.h"
+
+#include <vector>
+
+namespace rap {
+
+struct NaturalLoop {
+  unsigned Header = 0;
+  std::vector<unsigned> Blocks; ///< sorted block ids, including the header
+};
+
+class LoopInfo {
+public:
+  LoopInfo(const Cfg &G, const DominatorTree &Dom);
+
+  const std::vector<NaturalLoop> &loops() const { return Loops; }
+
+  /// Number of loops containing \p Block.
+  unsigned loopDepth(unsigned Block) const { return DepthOfBlock[Block]; }
+
+private:
+  std::vector<NaturalLoop> Loops;
+  std::vector<unsigned> DepthOfBlock;
+};
+
+} // namespace rap
+
+#endif // RAP_CFG_LOOPINFO_H

@@ -1,0 +1,46 @@
+//===- driver/Pipeline.cpp - Source-to-stats pipeline -----------------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+
+using namespace rap;
+
+CompileResult rap::compileMiniC(const std::string &Source,
+                                const CompileOptions &Options) {
+  CompileResult Res;
+  DiagnosticEngine Diags;
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.lexAll(), Diags);
+  TranslationUnit TU = P.parseTranslationUnit();
+  if (Diags.hasErrors()) {
+    Res.Errors = Diags.str();
+    return Res;
+  }
+  if (!analyze(TU, Diags)) {
+    Res.Errors = Diags.str();
+    return Res;
+  }
+  Res.Prog = lowerToIloc(TU, Options.Granularity, Options.Copies);
+  Res.Alloc =
+      allocateProgram(*Res.Prog, Options.Allocator, Options.Alloc);
+  return Res;
+}
+
+RunResult rap::compileAndRun(const std::string &Source,
+                             const CompileOptions &Options) {
+  CompileResult CR = compileMiniC(Source, Options);
+  if (!CR.ok()) {
+    RunResult R;
+    R.Error = "compilation failed:\n" + CR.Errors;
+    return R;
+  }
+  Interpreter Interp(*CR.Prog);
+  return Interp.run();
+}

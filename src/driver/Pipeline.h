@@ -1,0 +1,53 @@
+//===- driver/Pipeline.h - Source-to-stats pipeline -------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The experimental pipeline of the paper's §4: MiniC source -> PDG + ILOC
+/// (virtual registers) -> register allocation (GRA or RAP, k registers) ->
+/// interpreted execution with cycle/load/store/copy counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_DRIVER_PIPELINE_H
+#define RAP_DRIVER_PIPELINE_H
+
+#include "interp/Interpreter.h"
+#include "ir/IlocProgram.h"
+#include "lower/AstLowering.h"
+#include "regalloc/Allocator.h"
+
+#include <memory>
+#include <string>
+
+namespace rap {
+
+struct CompileOptions {
+  AllocatorKind Allocator = AllocatorKind::None;
+  AllocOptions Alloc;
+  RegionGranularity Granularity = RegionGranularity::PerStatement;
+  CopyStyle Copies = CopyStyle::Naive;
+};
+
+struct CompileResult {
+  std::unique_ptr<IlocProgram> Prog;
+  AllocStats Alloc;   ///< aggregated over all functions
+  std::string Errors; ///< diagnostics when compilation failed
+
+  bool ok() const { return Prog != nullptr; }
+};
+
+/// Compiles MiniC source and (optionally) allocates registers.
+CompileResult compileMiniC(const std::string &Source,
+                           const CompileOptions &Options);
+
+/// Compiles, allocates, and runs main(). The Error field of the result is
+/// set when compilation fails.
+RunResult compileAndRun(const std::string &Source,
+                        const CompileOptions &Options);
+
+} // namespace rap
+
+#endif // RAP_DRIVER_PIPELINE_H

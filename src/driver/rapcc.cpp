@@ -1,0 +1,198 @@
+//===- driver/rapcc.cpp - Command-line compiler driver ------------------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// rapcc: the command-line face of the library. Compiles a MiniC file,
+/// optionally allocates registers, and either dumps an artifact or runs
+/// the program on the counting interpreter.
+///
+///   rapcc file.mc [options]
+///     --alloc=none|gra|rap     allocator (default rap)
+///     -k N                      physical registers (default 5)
+///     --granularity=stmt|merged region granularity (default stmt)
+///     --copies=naive|direct     assignment codegen style (default naive)
+///     --no-movement --no-peephole --no-cleanup   disable RAP phases
+///     --dump=iloc|tree|dot|cfg  print an artifact instead of running
+///     --func=NAME               which function to dump (default main)
+///     --stats                   print allocation statistics
+///     --run (default)           execute main() and print result + counters
+///
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Cfg.h"
+#include "driver/Pipeline.h"
+#include "ir/Linearize.h"
+#include "pdg/Dot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace rap;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: rapcc <file.mc> [--alloc=none|gra|rap] [-k N]\n"
+      "             [--granularity=stmt|merged] [--copies=naive|direct]\n"
+      "             [--no-movement] [--no-peephole] [--no-cleanup]\n"
+      "             [--dump=iloc|tree|dot|cfg] [--func=NAME] [--stats]\n");
+}
+
+bool startsWith(const char *S, const char *Prefix) {
+  return std::strncmp(S, Prefix, std::strlen(Prefix)) == 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+
+  std::string Path;
+  std::string Dump;
+  std::string Func = "main";
+  bool Stats = false;
+  CompileOptions Opts;
+  Opts.Allocator = AllocatorKind::Rap;
+
+  for (int I = 1; I != argc; ++I) {
+    const char *Arg = argv[I];
+    if (startsWith(Arg, "--alloc=")) {
+      Opts.Allocator = allocatorKindFromString(Arg + 8);
+      if (Opts.Allocator == AllocatorKind::None &&
+          std::strcmp(Arg + 8, "none") != 0) {
+        std::fprintf(stderr, "rapcc: unknown allocator '%s'\n", Arg + 8);
+        return 2;
+      }
+    } else if (std::strcmp(Arg, "-k") == 0 && I + 1 < argc) {
+      Opts.Alloc.K = static_cast<unsigned>(std::atoi(argv[++I]));
+      if (Opts.Alloc.K < 3) {
+        std::fprintf(stderr, "rapcc: k must be at least 3\n");
+        return 2;
+      }
+    } else if (startsWith(Arg, "--granularity=")) {
+      std::string G = Arg + 14;
+      if (G == "stmt")
+        Opts.Granularity = RegionGranularity::PerStatement;
+      else if (G == "merged")
+        Opts.Granularity = RegionGranularity::Merged;
+      else {
+        std::fprintf(stderr, "rapcc: unknown granularity '%s'\n", G.c_str());
+        return 2;
+      }
+    } else if (startsWith(Arg, "--copies=")) {
+      std::string C = Arg + 9;
+      if (C == "naive")
+        Opts.Copies = CopyStyle::Naive;
+      else if (C == "direct")
+        Opts.Copies = CopyStyle::Direct;
+      else {
+        std::fprintf(stderr, "rapcc: unknown copy style '%s'\n", C.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(Arg, "--no-movement") == 0) {
+      Opts.Alloc.SpillMovement = false;
+    } else if (std::strcmp(Arg, "--no-peephole") == 0) {
+      Opts.Alloc.Peephole = false;
+    } else if (std::strcmp(Arg, "--no-cleanup") == 0) {
+      Opts.Alloc.GlobalCleanup = false;
+    } else if (startsWith(Arg, "--dump=")) {
+      Dump = Arg + 7;
+    } else if (startsWith(Arg, "--func=")) {
+      Func = Arg + 7;
+    } else if (std::strcmp(Arg, "--stats") == 0) {
+      Stats = true;
+    } else if (std::strcmp(Arg, "--run") == 0) {
+      Dump.clear();
+    } else if (Arg[0] == '-') {
+      std::fprintf(stderr, "rapcc: unknown option '%s'\n", Arg);
+      usage();
+      return 2;
+    } else {
+      Path = Arg;
+    }
+  }
+  if (Path.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "rapcc: cannot open '%s'\n", Path.c_str());
+    return 1;
+  }
+  std::stringstream SS;
+  SS << In.rdbuf();
+
+  CompileResult CR = compileMiniC(SS.str(), Opts);
+  if (!CR.ok()) {
+    std::fprintf(stderr, "%s", CR.Errors.c_str());
+    return 1;
+  }
+
+  if (Stats) {
+    std::fprintf(stderr,
+                 "alloc stats: graphs=%u maxnodes=%u spills=%u regions=%u "
+                 "hoisted=%u sunk=%u peephole=%u/%u cleanup=%u/%u "
+                 "copies-deleted=%u\n",
+                 CR.Alloc.GraphBuilds, CR.Alloc.MaxGraphNodes,
+                 CR.Alloc.SpilledVRegs, CR.Alloc.RegionsProcessed,
+                 CR.Alloc.HoistedLoads, CR.Alloc.SunkStores,
+                 CR.Alloc.PeepholeRemovedLoads,
+                 CR.Alloc.PeepholeRemovedStores,
+                 CR.Alloc.CleanupRemovedLoads,
+                 CR.Alloc.CleanupRemovedStores, CR.Alloc.CopiesDeleted);
+  }
+
+  if (!Dump.empty()) {
+    IlocFunction *F = CR.Prog->findFunction(Func);
+    if (!F) {
+      std::fprintf(stderr, "rapcc: no function '%s'\n", Func.c_str());
+      return 1;
+    }
+    if (Dump == "iloc") {
+      std::printf("%s", F->str().c_str());
+    } else if (Dump == "tree") {
+      std::printf("%s", regionTreeToText(*F).c_str());
+    } else if (Dump == "dot") {
+      std::printf("%s", pdgToDot(*F).c_str());
+    } else if (Dump == "cfg") {
+      LinearCode Code = linearize(*F);
+      Cfg G(Code);
+      std::printf("%s", G.str().c_str());
+    } else {
+      std::fprintf(stderr, "rapcc: unknown dump kind '%s'\n", Dump.c_str());
+      return 2;
+    }
+    return 0;
+  }
+
+  Interpreter Interp(*CR.Prog);
+  RunResult R = Interp.run();
+  if (!R.Ok) {
+    std::fprintf(stderr, "rapcc: runtime error: %s\n", R.Error.c_str());
+    return 1;
+  }
+  std::printf("result: %s\n", R.ReturnValue.str().c_str());
+  std::printf("cycles: %llu  loads: %llu (spill %llu)  stores: %llu "
+              "(spill %llu)  copies: %llu  calls: %llu\n",
+              static_cast<unsigned long long>(R.Stats.Cycles),
+              static_cast<unsigned long long>(R.Stats.Loads),
+              static_cast<unsigned long long>(R.Stats.SpillLoads),
+              static_cast<unsigned long long>(R.Stats.Stores),
+              static_cast<unsigned long long>(R.Stats.SpillStores),
+              static_cast<unsigned long long>(R.Stats.Copies),
+              static_cast<unsigned long long>(R.Stats.Calls));
+  return 0;
+}

@@ -1,0 +1,171 @@
+//===- frontend/Ast.h - MiniC abstract syntax -------------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniC AST: expressions, statements, and declarations. Nodes are
+/// kind-tagged (no RTTI) and owned through unique_ptr. Semantic analysis
+/// annotates expressions with their TypeKind and may wrap operands in
+/// implicit Cast nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_FRONTEND_AST_H
+#define RAP_FRONTEND_AST_H
+
+#include "ir/IlocFunction.h" // TypeKind
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rap {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind {
+  IntLit,
+  FloatLit,
+  VarRef,
+  ArrayRef,
+  Call,
+  Binary,
+  Unary,
+  Cast, ///< implicit int<->float conversion inserted by Sema
+};
+
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  LogicalAnd,
+  LogicalOr,
+};
+
+enum class UnaryOp { Neg, Not };
+
+struct Expr {
+  explicit Expr(ExprKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+
+  ExprKind Kind;
+  SourceLoc Loc;
+
+  /// Result type; filled in by Sema.
+  TypeKind Type = TypeKind::Void;
+
+  // Literals.
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+
+  // VarRef / ArrayRef / Call.
+  std::string Name;
+
+  /// For VarRef: true when the name resolves to a global scalar rather than
+  /// a local/parameter. Filled by Sema; lowering relies on it so that its
+  /// scope handling matches name resolution exactly.
+  bool ResolvedGlobal = false;
+
+  // ArrayRef index; Cast / Unary operand.
+  std::unique_ptr<Expr> Sub;
+
+  // Binary operands.
+  std::unique_ptr<Expr> Lhs;
+  std::unique_ptr<Expr> Rhs;
+  BinaryOp BinOp = BinaryOp::Add;
+  UnaryOp UnOp = UnaryOp::Neg;
+
+  // Call arguments.
+  std::vector<std::unique_ptr<Expr>> Args;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind {
+  Block,
+  VarDecl,
+  Assign,
+  If,
+  While,
+  For,
+  Return,
+  ExprStmt,
+};
+
+struct Stmt {
+  explicit Stmt(StmtKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+
+  StmtKind Kind;
+  SourceLoc Loc;
+
+  // Block.
+  std::vector<std::unique_ptr<Stmt>> Body;
+
+  // VarDecl: declares a local scalar `DeclType Name = Value;`.
+  TypeKind DeclType = TypeKind::Int;
+  std::string Name;
+  ExprPtr Value; ///< initializer / assigned value / return value / expression
+
+  // Assign: Name [Index] = Value. Index null for scalar targets.
+  ExprPtr Index;
+  bool TargetIsGlobal = false; ///< filled by Sema
+
+  // If / While / For.
+  ExprPtr Cond;
+  std::unique_ptr<Stmt> Then;
+  std::unique_ptr<Stmt> Else;             ///< if only
+  std::unique_ptr<Stmt> ForInit, ForStep; ///< for only
+
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+struct ParamDecl {
+  TypeKind Type = TypeKind::Int;
+  std::string Name;
+  SourceLoc Loc;
+};
+
+struct FuncDecl {
+  std::string Name;
+  SourceLoc Loc;
+  TypeKind ReturnType = TypeKind::Void;
+  std::vector<ParamDecl> Params;
+  StmtPtr Body; ///< a Block
+};
+
+struct GlobalDecl {
+  std::string Name;
+  SourceLoc Loc;
+  TypeKind Type = TypeKind::Int;
+  int ArraySize = -1; ///< -1 for scalars
+};
+
+struct TranslationUnit {
+  std::vector<GlobalDecl> Globals;
+  std::vector<std::unique_ptr<FuncDecl>> Functions;
+};
+
+} // namespace rap
+
+#endif // RAP_FRONTEND_AST_H

@@ -1,0 +1,282 @@
+//===- frontend/Lexer.cpp - MiniC lexer -----------------------------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace rap;
+
+const char *rap::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::FloatLiteral:
+    return "float literal";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwFloat:
+    return "'float'";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::BangEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  }
+  return "?";
+}
+
+char Lexer::peek(unsigned Ahead) const {
+  size_t P = Pos + Ahead;
+  return P < Source.size() ? Source[P] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start{Line, Col};
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          Diags.error(Start, "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind) const {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = TokStart;
+  return T;
+}
+
+Token Lexer::lexNumber() {
+  size_t Start = Pos;
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    advance();
+  bool IsFloat = false;
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    IsFloat = true;
+    advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    size_t Save = Pos;
+    advance();
+    if (peek() == '+' || peek() == '-')
+      advance();
+    if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      IsFloat = true;
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    } else {
+      Pos = Save; // not an exponent after all
+    }
+  }
+  std::string Text = Source.substr(Start, Pos - Start);
+  if (IsFloat) {
+    Token T = makeToken(TokenKind::FloatLiteral);
+    T.FloatValue = std::strtod(Text.c_str(), nullptr);
+    return T;
+  }
+  Token T = makeToken(TokenKind::IntLiteral);
+  T.IntValue = std::strtoll(Text.c_str(), nullptr, 10);
+  return T;
+}
+
+Token Lexer::lexIdentifier() {
+  size_t Start = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  std::string Text = Source.substr(Start, Pos - Start);
+  if (Text == "int")
+    return makeToken(TokenKind::KwInt);
+  if (Text == "float")
+    return makeToken(TokenKind::KwFloat);
+  if (Text == "void")
+    return makeToken(TokenKind::KwVoid);
+  if (Text == "if")
+    return makeToken(TokenKind::KwIf);
+  if (Text == "else")
+    return makeToken(TokenKind::KwElse);
+  if (Text == "while")
+    return makeToken(TokenKind::KwWhile);
+  if (Text == "for")
+    return makeToken(TokenKind::KwFor);
+  if (Text == "return")
+    return makeToken(TokenKind::KwReturn);
+  Token T = makeToken(TokenKind::Identifier);
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  TokStart = SourceLoc{Line, Col};
+  char C = peek();
+  if (C == '\0')
+    return makeToken(TokenKind::Eof);
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifier();
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen);
+  case ')':
+    return makeToken(TokenKind::RParen);
+  case '{':
+    return makeToken(TokenKind::LBrace);
+  case '}':
+    return makeToken(TokenKind::RBrace);
+  case '[':
+    return makeToken(TokenKind::LBracket);
+  case ']':
+    return makeToken(TokenKind::RBracket);
+  case ',':
+    return makeToken(TokenKind::Comma);
+  case ';':
+    return makeToken(TokenKind::Semi);
+  case '+':
+    return makeToken(TokenKind::Plus);
+  case '-':
+    return makeToken(TokenKind::Minus);
+  case '*':
+    return makeToken(TokenKind::Star);
+  case '/':
+    return makeToken(TokenKind::Slash);
+  case '%':
+    return makeToken(TokenKind::Percent);
+  case '=':
+    return makeToken(match('=') ? TokenKind::EqEq : TokenKind::Assign);
+  case '!':
+    return makeToken(match('=') ? TokenKind::BangEq : TokenKind::Bang);
+  case '<':
+    return makeToken(match('=') ? TokenKind::LessEq : TokenKind::Less);
+  case '>':
+    return makeToken(match('=') ? TokenKind::GreaterEq : TokenKind::Greater);
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::AmpAmp);
+    break;
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::PipePipe);
+    break;
+  default:
+    break;
+  }
+  Diags.error(TokStart, std::string("unexpected character '") + C + "'");
+  return makeToken(TokenKind::Eof);
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Out;
+  for (;;) {
+    Token T = next();
+    Out.push_back(T);
+    if (T.Kind == TokenKind::Eof)
+      return Out;
+  }
+}

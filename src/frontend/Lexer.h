@@ -1,0 +1,53 @@
+//===- frontend/Lexer.h - MiniC lexer ---------------------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts MiniC source text into a token stream. Supports // and /* */
+/// comments. Lexical errors are reported through the DiagnosticEngine and
+/// yield an Eof token so the parser stops cleanly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_FRONTEND_LEXER_H
+#define RAP_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace rap {
+
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags)
+      : Source(std::move(Source)), Diags(Diags) {}
+
+  /// Lexes the entire input; the last token is always Eof.
+  std::vector<Token> lexAll();
+
+private:
+  Token next();
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  void skipWhitespaceAndComments();
+  Token makeToken(TokenKind Kind) const;
+  Token lexNumber();
+  Token lexIdentifier();
+
+  std::string Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  int Line = 1;
+  int Col = 1;
+  SourceLoc TokStart;
+};
+
+} // namespace rap
+
+#endif // RAP_FRONTEND_LEXER_H

@@ -1,0 +1,454 @@
+//===- frontend/Parser.cpp - MiniC parser ---------------------------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include <cassert>
+
+using namespace rap;
+
+const Token &Parser::peek(unsigned Ahead) const {
+  size_t P = Pos + Ahead;
+  if (P >= Tokens.size())
+    P = Tokens.size() - 1; // Eof
+  return Tokens[P];
+}
+
+const Token &Parser::advance() {
+  const Token &T = Tokens[Pos];
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::accept(TokenKind Kind) {
+  if (!check(Kind))
+    return false;
+  advance();
+  return true;
+}
+
+const Token &Parser::expect(TokenKind Kind, const char *Context) {
+  if (check(Kind))
+    return advance();
+  Diags.error(peek().Loc, std::string("expected ") + tokenKindName(Kind) +
+                              " " + Context + ", found " +
+                              tokenKindName(peek().Kind));
+  return peek();
+}
+
+/// Skips tokens until a likely statement boundary after a parse error.
+void Parser::synchronize() {
+  while (!check(TokenKind::Eof)) {
+    if (accept(TokenKind::Semi))
+      return;
+    switch (peek().Kind) {
+    case TokenKind::RBrace:
+    case TokenKind::KwIf:
+    case TokenKind::KwWhile:
+    case TokenKind::KwFor:
+    case TokenKind::KwReturn:
+    case TokenKind::KwInt:
+    case TokenKind::KwFloat:
+      return;
+    default:
+      advance();
+    }
+  }
+}
+
+bool Parser::parseType(TypeKind &Out) {
+  if (accept(TokenKind::KwInt)) {
+    Out = TypeKind::Int;
+    return true;
+  }
+  if (accept(TokenKind::KwFloat)) {
+    Out = TypeKind::Float;
+    return true;
+  }
+  if (accept(TokenKind::KwVoid)) {
+    Out = TypeKind::Void;
+    return true;
+  }
+  return false;
+}
+
+TranslationUnit Parser::parseTranslationUnit() {
+  TranslationUnit TU;
+  while (!check(TokenKind::Eof)) {
+    size_t Before = Pos;
+    parseTopLevel(TU);
+    if (Pos == Before) {
+      Diags.error(peek().Loc, "could not parse top-level declaration");
+      advance();
+    }
+  }
+  return TU;
+}
+
+void Parser::parseTopLevel(TranslationUnit &TU) {
+  TypeKind Type;
+  if (!parseType(Type)) {
+    Diags.error(peek().Loc, "expected type at top level");
+    synchronize();
+    return;
+  }
+  const Token &NameTok = expect(TokenKind::Identifier, "in declaration");
+  if (check(TokenKind::LParen)) {
+    auto F = parseFunctionRest(Type, NameTok);
+    if (F)
+      TU.Functions.push_back(std::move(F));
+    return;
+  }
+  // Global variable (scalar or array).
+  GlobalDecl G;
+  G.Name = NameTok.Text;
+  G.Loc = NameTok.Loc;
+  G.Type = Type;
+  if (Type == TypeKind::Void)
+    Diags.error(NameTok.Loc, "variable of void type");
+  if (accept(TokenKind::LBracket)) {
+    const Token &SizeTok =
+        expect(TokenKind::IntLiteral, "as array size");
+    G.ArraySize = static_cast<int>(SizeTok.IntValue);
+    expect(TokenKind::RBracket, "after array size");
+  }
+  expect(TokenKind::Semi, "after global declaration");
+  TU.Globals.push_back(std::move(G));
+}
+
+std::unique_ptr<FuncDecl> Parser::parseFunctionRest(TypeKind RetType,
+                                                    const Token &NameTok) {
+  auto F = std::make_unique<FuncDecl>();
+  F->Name = NameTok.Text;
+  F->Loc = NameTok.Loc;
+  F->ReturnType = RetType;
+  expect(TokenKind::LParen, "after function name");
+  if (!check(TokenKind::RParen)) {
+    do {
+      ParamDecl P;
+      P.Loc = peek().Loc;
+      if (!parseType(P.Type)) {
+        Diags.error(peek().Loc, "expected parameter type");
+        synchronize();
+        return nullptr;
+      }
+      if (P.Type == TypeKind::Void)
+        Diags.error(P.Loc, "parameter of void type");
+      P.Name = expect(TokenKind::Identifier, "as parameter name").Text;
+      F->Params.push_back(std::move(P));
+    } while (accept(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "after parameters");
+  F->Body = parseBlock();
+  return F;
+}
+
+StmtPtr Parser::parseBlock() {
+  SourceLoc Loc = peek().Loc;
+  expect(TokenKind::LBrace, "to open block");
+  auto Block = std::make_unique<Stmt>(StmtKind::Block, Loc);
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    size_t Before = Pos;
+    StmtPtr S = parseStmt();
+    if (S)
+      Block->Body.push_back(std::move(S));
+    if (Pos == Before)
+      synchronize();
+  }
+  expect(TokenKind::RBrace, "to close block");
+  return Block;
+}
+
+StmtPtr Parser::parseStmt() {
+  switch (peek().Kind) {
+  case TokenKind::LBrace:
+    return parseBlock();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwFor:
+    return parseFor();
+  case TokenKind::KwReturn:
+    return parseReturn();
+  default: {
+    StmtPtr S = parseSimpleStmt();
+    if (S)
+      expect(TokenKind::Semi, "after statement");
+    return S;
+  }
+  }
+}
+
+StmtPtr Parser::parseSimpleStmt() {
+  SourceLoc Loc = peek().Loc;
+  TypeKind DeclType;
+  size_t Save = Pos;
+  if (parseType(DeclType)) {
+    auto S = std::make_unique<Stmt>(StmtKind::VarDecl, Loc);
+    S->DeclType = DeclType;
+    if (DeclType == TypeKind::Void)
+      Diags.error(Loc, "variable of void type");
+    S->Name = expect(TokenKind::Identifier, "as variable name").Text;
+    if (accept(TokenKind::Assign))
+      S->Value = parseExpr();
+    return S;
+  }
+  Pos = Save;
+
+  // Assignment (scalar or array element) or expression statement.
+  if (check(TokenKind::Identifier)) {
+    if (peek(1).Kind == TokenKind::Assign) {
+      auto S = std::make_unique<Stmt>(StmtKind::Assign, Loc);
+      S->Name = advance().Text;
+      advance(); // '='
+      S->Value = parseExpr();
+      return S;
+    }
+    if (peek(1).Kind == TokenKind::LBracket) {
+      // Could be `a[i] = e` or an expression beginning with `a[i]`; scan for
+      // the matching ']' followed by '='.
+      size_t Scan = Pos + 2;
+      int Depth = 1;
+      while (Scan < Tokens.size() && Depth > 0) {
+        if (Tokens[Scan].Kind == TokenKind::LBracket)
+          ++Depth;
+        else if (Tokens[Scan].Kind == TokenKind::RBracket)
+          --Depth;
+        ++Scan;
+      }
+      if (Scan < Tokens.size() && Tokens[Scan].Kind == TokenKind::Assign) {
+        auto S = std::make_unique<Stmt>(StmtKind::Assign, Loc);
+        S->Name = advance().Text;
+        advance(); // '['
+        S->Index = parseExpr();
+        expect(TokenKind::RBracket, "after array index");
+        advance(); // '='
+        S->Value = parseExpr();
+        return S;
+      }
+    }
+  }
+
+  auto S = std::make_unique<Stmt>(StmtKind::ExprStmt, Loc);
+  S->Value = parseExpr();
+  return S;
+}
+
+StmtPtr Parser::parseIf() {
+  SourceLoc Loc = advance().Loc; // 'if'
+  auto S = std::make_unique<Stmt>(StmtKind::If, Loc);
+  expect(TokenKind::LParen, "after 'if'");
+  S->Cond = parseExpr();
+  expect(TokenKind::RParen, "after if condition");
+  S->Then = parseStmt();
+  if (accept(TokenKind::KwElse))
+    S->Else = parseStmt();
+  return S;
+}
+
+StmtPtr Parser::parseWhile() {
+  SourceLoc Loc = advance().Loc; // 'while'
+  auto S = std::make_unique<Stmt>(StmtKind::While, Loc);
+  expect(TokenKind::LParen, "after 'while'");
+  S->Cond = parseExpr();
+  expect(TokenKind::RParen, "after while condition");
+  S->Then = parseStmt();
+  return S;
+}
+
+StmtPtr Parser::parseFor() {
+  SourceLoc Loc = advance().Loc; // 'for'
+  auto S = std::make_unique<Stmt>(StmtKind::For, Loc);
+  expect(TokenKind::LParen, "after 'for'");
+  if (!check(TokenKind::Semi))
+    S->ForInit = parseSimpleStmt();
+  expect(TokenKind::Semi, "after for initializer");
+  if (!check(TokenKind::Semi))
+    S->Cond = parseExpr();
+  expect(TokenKind::Semi, "after for condition");
+  if (!check(TokenKind::RParen))
+    S->ForStep = parseSimpleStmt();
+  expect(TokenKind::RParen, "after for step");
+  S->Then = parseStmt();
+  return S;
+}
+
+StmtPtr Parser::parseReturn() {
+  SourceLoc Loc = advance().Loc; // 'return'
+  auto S = std::make_unique<Stmt>(StmtKind::Return, Loc);
+  if (!check(TokenKind::Semi))
+    S->Value = parseExpr();
+  expect(TokenKind::Semi, "after return");
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions (precedence climbing)
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseExpr() { return parseOr(); }
+
+static ExprPtr makeBinary(BinaryOp Op, SourceLoc Loc, ExprPtr L, ExprPtr R) {
+  auto E = std::make_unique<Expr>(ExprKind::Binary, Loc);
+  E->BinOp = Op;
+  E->Lhs = std::move(L);
+  E->Rhs = std::move(R);
+  return E;
+}
+
+ExprPtr Parser::parseOr() {
+  ExprPtr L = parseAnd();
+  while (check(TokenKind::PipePipe)) {
+    SourceLoc Loc = advance().Loc;
+    L = makeBinary(BinaryOp::LogicalOr, Loc, std::move(L), parseAnd());
+  }
+  return L;
+}
+
+ExprPtr Parser::parseAnd() {
+  ExprPtr L = parseEquality();
+  while (check(TokenKind::AmpAmp)) {
+    SourceLoc Loc = advance().Loc;
+    L = makeBinary(BinaryOp::LogicalAnd, Loc, std::move(L), parseEquality());
+  }
+  return L;
+}
+
+ExprPtr Parser::parseEquality() {
+  ExprPtr L = parseRelational();
+  for (;;) {
+    BinaryOp Op;
+    if (check(TokenKind::EqEq))
+      Op = BinaryOp::Eq;
+    else if (check(TokenKind::BangEq))
+      Op = BinaryOp::Ne;
+    else
+      return L;
+    SourceLoc Loc = advance().Loc;
+    L = makeBinary(Op, Loc, std::move(L), parseRelational());
+  }
+}
+
+ExprPtr Parser::parseRelational() {
+  ExprPtr L = parseAdditive();
+  for (;;) {
+    BinaryOp Op;
+    if (check(TokenKind::Less))
+      Op = BinaryOp::Lt;
+    else if (check(TokenKind::LessEq))
+      Op = BinaryOp::Le;
+    else if (check(TokenKind::Greater))
+      Op = BinaryOp::Gt;
+    else if (check(TokenKind::GreaterEq))
+      Op = BinaryOp::Ge;
+    else
+      return L;
+    SourceLoc Loc = advance().Loc;
+    L = makeBinary(Op, Loc, std::move(L), parseAdditive());
+  }
+}
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr L = parseMultiplicative();
+  for (;;) {
+    BinaryOp Op;
+    if (check(TokenKind::Plus))
+      Op = BinaryOp::Add;
+    else if (check(TokenKind::Minus))
+      Op = BinaryOp::Sub;
+    else
+      return L;
+    SourceLoc Loc = advance().Loc;
+    L = makeBinary(Op, Loc, std::move(L), parseMultiplicative());
+  }
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr L = parseUnary();
+  for (;;) {
+    BinaryOp Op;
+    if (check(TokenKind::Star))
+      Op = BinaryOp::Mul;
+    else if (check(TokenKind::Slash))
+      Op = BinaryOp::Div;
+    else if (check(TokenKind::Percent))
+      Op = BinaryOp::Mod;
+    else
+      return L;
+    SourceLoc Loc = advance().Loc;
+    L = makeBinary(Op, Loc, std::move(L), parseUnary());
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  if (check(TokenKind::Minus)) {
+    SourceLoc Loc = advance().Loc;
+    auto E = std::make_unique<Expr>(ExprKind::Unary, Loc);
+    E->UnOp = UnaryOp::Neg;
+    E->Sub = parseUnary();
+    return E;
+  }
+  if (check(TokenKind::Bang)) {
+    SourceLoc Loc = advance().Loc;
+    auto E = std::make_unique<Expr>(ExprKind::Unary, Loc);
+    E->UnOp = UnaryOp::Not;
+    E->Sub = parseUnary();
+    return E;
+  }
+  return parsePrimary();
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = peek().Loc;
+  if (check(TokenKind::IntLiteral)) {
+    auto E = std::make_unique<Expr>(ExprKind::IntLit, Loc);
+    E->IntValue = advance().IntValue;
+    return E;
+  }
+  if (check(TokenKind::FloatLiteral)) {
+    auto E = std::make_unique<Expr>(ExprKind::FloatLit, Loc);
+    E->FloatValue = advance().FloatValue;
+    return E;
+  }
+  if (accept(TokenKind::LParen)) {
+    ExprPtr E = parseExpr();
+    expect(TokenKind::RParen, "to close parenthesized expression");
+    return E;
+  }
+  if (check(TokenKind::Identifier)) {
+    std::string Name = advance().Text;
+    if (accept(TokenKind::LParen)) {
+      auto E = std::make_unique<Expr>(ExprKind::Call, Loc);
+      E->Name = std::move(Name);
+      if (!check(TokenKind::RParen)) {
+        do {
+          E->Args.push_back(parseExpr());
+        } while (accept(TokenKind::Comma));
+      }
+      expect(TokenKind::RParen, "after call arguments");
+      return E;
+    }
+    if (accept(TokenKind::LBracket)) {
+      auto E = std::make_unique<Expr>(ExprKind::ArrayRef, Loc);
+      E->Name = std::move(Name);
+      E->Sub = parseExpr();
+      expect(TokenKind::RBracket, "after array index");
+      return E;
+    }
+    auto E = std::make_unique<Expr>(ExprKind::VarRef, Loc);
+    E->Name = std::move(Name);
+    return E;
+  }
+  Diags.error(Loc, std::string("expected expression, found ") +
+                       tokenKindName(peek().Kind));
+  advance();
+  // Error recovery: produce a dummy literal.
+  auto E = std::make_unique<Expr>(ExprKind::IntLit, Loc);
+  E->IntValue = 0;
+  return E;
+}

@@ -1,0 +1,70 @@
+//===- frontend/Parser.h - MiniC parser -------------------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MiniC. On error it reports a diagnostic and
+/// synchronizes at statement boundaries, so several errors can be reported
+/// per run; callers must check DiagnosticEngine::hasErrors() before using the
+/// returned tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_FRONTEND_PARSER_H
+#define RAP_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <vector>
+
+namespace rap {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  TranslationUnit parseTranslationUnit();
+
+private:
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &advance();
+  bool check(TokenKind Kind) const { return peek().Kind == Kind; }
+  bool accept(TokenKind Kind);
+  const Token &expect(TokenKind Kind, const char *Context);
+  void synchronize();
+
+  bool parseType(TypeKind &Out);
+  void parseTopLevel(TranslationUnit &TU);
+  std::unique_ptr<FuncDecl> parseFunctionRest(TypeKind RetType,
+                                              const Token &NameTok);
+  StmtPtr parseBlock();
+  StmtPtr parseStmt();
+  StmtPtr parseSimpleStmt(); ///< decl or assignment or call, no trailing ';'
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+  StmtPtr parseFor();
+  StmtPtr parseReturn();
+
+  ExprPtr parseExpr();
+  ExprPtr parseOr();
+  ExprPtr parseAnd();
+  ExprPtr parseEquality();
+  ExprPtr parseRelational();
+  ExprPtr parseAdditive();
+  ExprPtr parseMultiplicative();
+  ExprPtr parseUnary();
+  ExprPtr parsePrimary();
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace rap
+
+#endif // RAP_FRONTEND_PARSER_H

@@ -1,0 +1,399 @@
+//===- frontend/Sema.cpp - MiniC semantic analysis ------------------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Sema.h"
+
+#include <cassert>
+#include <map>
+#include <vector>
+
+using namespace rap;
+
+namespace {
+
+const char *typeName(TypeKind T) {
+  switch (T) {
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::Float:
+    return "float";
+  case TypeKind::Void:
+    return "void";
+  }
+  return "?";
+}
+
+class SemaChecker {
+public:
+  SemaChecker(TranslationUnit &TU, DiagnosticEngine &Diags)
+      : TU(TU), Diags(Diags) {}
+
+  bool run() {
+    collectGlobals();
+    collectFunctions();
+    for (auto &F : TU.Functions)
+      checkFunction(*F);
+    return !Diags.hasErrors();
+  }
+
+private:
+  void collectGlobals() {
+    for (GlobalDecl &G : TU.Globals) {
+      if (Globals.count(G.Name) || FunctionsByName.count(G.Name)) {
+        Diags.error(G.Loc, "redefinition of '" + G.Name + "'");
+        continue;
+      }
+      if (G.ArraySize == 0 || G.ArraySize < -1)
+        Diags.error(G.Loc, "array '" + G.Name + "' has invalid size");
+      Globals[G.Name] = &G;
+    }
+  }
+
+  void collectFunctions() {
+    for (auto &F : TU.Functions) {
+      if (FunctionsByName.count(F->Name) || Globals.count(F->Name)) {
+        Diags.error(F->Loc, "redefinition of '" + F->Name + "'");
+        continue;
+      }
+      FunctionsByName[F->Name] = F.get();
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Scopes
+  //===------------------------------------------------------------------===//
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  bool declareLocal(const std::string &Name, TypeKind Type, SourceLoc Loc) {
+    assert(!Scopes.empty() && "no active scope");
+    auto [It, Inserted] = Scopes.back().emplace(Name, Type);
+    (void)It;
+    if (!Inserted) {
+      Diags.error(Loc, "redefinition of '" + Name + "' in the same scope");
+      return false;
+    }
+    return true;
+  }
+
+  /// Returns the type of a visible local, or Void if none.
+  bool lookupLocal(const std::string &Name, TypeKind &Out) const {
+    for (auto It = Scopes.rbegin(), E = Scopes.rend(); It != E; ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end()) {
+        Out = Found->second;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Functions and statements
+  //===------------------------------------------------------------------===//
+
+  void checkFunction(FuncDecl &F) {
+    CurFunc = &F;
+    Scopes.clear();
+    pushScope();
+    for (ParamDecl &P : F.Params)
+      declareLocal(P.Name, P.Type, P.Loc);
+    checkStmt(*F.Body);
+    popScope();
+    CurFunc = nullptr;
+  }
+
+  void checkStmt(Stmt &S) {
+    switch (S.Kind) {
+    case StmtKind::Block:
+      pushScope();
+      for (auto &Child : S.Body)
+        checkStmt(*Child);
+      popScope();
+      return;
+    case StmtKind::VarDecl:
+      if (S.Value) {
+        checkExpr(*S.Value);
+        coerce(S.Value, S.DeclType, S.Loc, "initializer");
+      }
+      declareLocal(S.Name, S.DeclType, S.Loc);
+      return;
+    case StmtKind::Assign:
+      checkAssign(S);
+      return;
+    case StmtKind::If:
+    case StmtKind::While:
+      checkCond(S.Cond);
+      checkStmt(*S.Then);
+      if (S.Else)
+        checkStmt(*S.Else);
+      return;
+    case StmtKind::For:
+      pushScope(); // the for-init declaration scopes over the loop
+      if (S.ForInit)
+        checkStmt(*S.ForInit);
+      checkCond(S.Cond);
+      if (S.ForStep)
+        checkStmt(*S.ForStep);
+      checkStmt(*S.Then);
+      popScope();
+      return;
+    case StmtKind::Return: {
+      TypeKind Want = CurFunc->ReturnType;
+      if (S.Value) {
+        if (Want == TypeKind::Void) {
+          Diags.error(S.Loc, "void function '" + CurFunc->Name +
+                                 "' returns a value");
+          checkExpr(*S.Value);
+          return;
+        }
+        checkExpr(*S.Value);
+        coerce(S.Value, Want, S.Loc, "return value");
+      } else if (Want != TypeKind::Void) {
+        Diags.error(S.Loc, "non-void function '" + CurFunc->Name +
+                               "' returns no value");
+      }
+      return;
+    }
+    case StmtKind::ExprStmt:
+      checkExpr(*S.Value, /*AllowVoid=*/true);
+      return;
+    }
+  }
+
+  void checkCond(ExprPtr &Cond) {
+    if (!Cond)
+      return; // for(;;) - permitted grammatically, rejected here
+    checkExpr(*Cond);
+    if (Cond->Type == TypeKind::Float) {
+      Diags.error(Cond->Loc, "condition must have int type");
+    }
+  }
+
+  void checkAssign(Stmt &S) {
+    checkExpr(*S.Value);
+    if (S.Index) {
+      checkExpr(*S.Index);
+      if (S.Index->Type != TypeKind::Int)
+        Diags.error(S.Index->Loc, "array index must have int type");
+      auto It = Globals.find(S.Name);
+      if (It == Globals.end() || It->second->ArraySize < 0) {
+        Diags.error(S.Loc, "'" + S.Name + "' is not a global array");
+        return;
+      }
+      TypeKind LocalType;
+      if (lookupLocal(S.Name, LocalType))
+        Diags.error(S.Loc,
+                    "local '" + S.Name + "' shadows the array being indexed");
+      S.TargetIsGlobal = true;
+      coerce(S.Value, It->second->Type, S.Loc, "assigned value");
+      return;
+    }
+    TypeKind Type;
+    if (lookupLocal(S.Name, Type)) {
+      S.TargetIsGlobal = false;
+      coerce(S.Value, Type, S.Loc, "assigned value");
+      return;
+    }
+    auto It = Globals.find(S.Name);
+    if (It != Globals.end()) {
+      if (It->second->ArraySize >= 0) {
+        Diags.error(S.Loc, "cannot assign to array '" + S.Name + "'");
+        return;
+      }
+      S.TargetIsGlobal = true;
+      coerce(S.Value, It->second->Type, S.Loc, "assigned value");
+      return;
+    }
+    Diags.error(S.Loc, "assignment to undeclared variable '" + S.Name + "'");
+  }
+
+  //===------------------------------------------------------------------===//
+  // Expressions
+  //===------------------------------------------------------------------===//
+
+  /// Wraps \p E in an implicit cast so it has type \p Want, or reports an
+  /// error when no implicit conversion exists.
+  void coerce(ExprPtr &E, TypeKind Want, SourceLoc Loc, const char *What) {
+    if (!E)
+      return;
+    if (E->Type == Want)
+      return;
+    if (E->Type == TypeKind::Void || Want == TypeKind::Void) {
+      Diags.error(Loc, std::string("cannot convert ") + What + " from " +
+                           typeName(E->Type) + " to " + typeName(Want));
+      return;
+    }
+    auto Cast = std::make_unique<Expr>(ExprKind::Cast, E->Loc);
+    Cast->Type = Want;
+    Cast->Sub = std::move(E);
+    E = std::move(Cast);
+  }
+
+  void checkExpr(Expr &E, bool AllowVoid = false) {
+    switch (E.Kind) {
+    case ExprKind::IntLit:
+      E.Type = TypeKind::Int;
+      return;
+    case ExprKind::FloatLit:
+      E.Type = TypeKind::Float;
+      return;
+    case ExprKind::Cast:
+      // Only created by Sema itself.
+      return;
+    case ExprKind::VarRef: {
+      TypeKind Type;
+      if (lookupLocal(E.Name, Type)) {
+        E.Type = Type;
+        E.ResolvedGlobal = false;
+        return;
+      }
+      auto It = Globals.find(E.Name);
+      if (It != Globals.end()) {
+        if (It->second->ArraySize >= 0) {
+          Diags.error(E.Loc, "array '" + E.Name + "' used without an index");
+          E.Type = TypeKind::Int;
+          return;
+        }
+        E.Type = It->second->Type;
+        E.ResolvedGlobal = true;
+        return;
+      }
+      Diags.error(E.Loc, "use of undeclared variable '" + E.Name + "'");
+      E.Type = TypeKind::Int;
+      return;
+    }
+    case ExprKind::ArrayRef: {
+      checkExpr(*E.Sub);
+      if (E.Sub->Type != TypeKind::Int)
+        Diags.error(E.Sub->Loc, "array index must have int type");
+      auto It = Globals.find(E.Name);
+      if (It == Globals.end() || It->second->ArraySize < 0) {
+        Diags.error(E.Loc, "'" + E.Name + "' is not a global array");
+        E.Type = TypeKind::Int;
+        return;
+      }
+      TypeKind LocalType;
+      if (lookupLocal(E.Name, LocalType))
+        Diags.error(E.Loc,
+                    "local '" + E.Name + "' shadows the array being indexed");
+      E.Type = It->second->Type;
+      return;
+    }
+    case ExprKind::Call: {
+      auto It = FunctionsByName.find(E.Name);
+      if (It == FunctionsByName.end()) {
+        Diags.error(E.Loc, "call to undeclared function '" + E.Name + "'");
+        E.Type = TypeKind::Int;
+        for (auto &A : E.Args)
+          checkExpr(*A);
+        return;
+      }
+      FuncDecl *Callee = It->second;
+      if (E.Args.size() != Callee->Params.size()) {
+        Diags.error(E.Loc, "call to '" + E.Name + "' with " +
+                               std::to_string(E.Args.size()) +
+                               " arguments; expected " +
+                               std::to_string(Callee->Params.size()));
+      }
+      for (size_t I = 0; I != E.Args.size(); ++I) {
+        checkExpr(*E.Args[I]);
+        if (I < Callee->Params.size())
+          coerce(E.Args[I], Callee->Params[I].Type, E.Args[I]->Loc,
+                 "argument");
+      }
+      E.Type = Callee->ReturnType;
+      if (E.Type == TypeKind::Void && !AllowVoid)
+        Diags.error(E.Loc, "void value of call to '" + E.Name +
+                               "' used in an expression");
+      return;
+    }
+    case ExprKind::Unary: {
+      checkExpr(*E.Sub);
+      if (E.UnOp == UnaryOp::Not) {
+        if (E.Sub->Type != TypeKind::Int)
+          Diags.error(E.Loc, "operand of '!' must have int type");
+        E.Type = TypeKind::Int;
+        return;
+      }
+      E.Type = E.Sub->Type;
+      if (E.Type == TypeKind::Void) {
+        Diags.error(E.Loc, "operand of unary '-' has void type");
+        E.Type = TypeKind::Int;
+      }
+      return;
+    }
+    case ExprKind::Binary:
+      checkBinary(E);
+      return;
+    }
+  }
+
+  void checkBinary(Expr &E) {
+    checkExpr(*E.Lhs);
+    checkExpr(*E.Rhs);
+    if (E.Lhs->Type == TypeKind::Void || E.Rhs->Type == TypeKind::Void) {
+      Diags.error(E.Loc, "void operand in binary expression");
+      E.Type = TypeKind::Int;
+      return;
+    }
+    switch (E.BinOp) {
+    case BinaryOp::LogicalAnd:
+    case BinaryOp::LogicalOr:
+      if (E.Lhs->Type != TypeKind::Int || E.Rhs->Type != TypeKind::Int)
+        Diags.error(E.Loc, "logical operator requires int operands");
+      E.Type = TypeKind::Int;
+      return;
+    case BinaryOp::Mod:
+      if (E.Lhs->Type != TypeKind::Int || E.Rhs->Type != TypeKind::Int)
+        Diags.error(E.Loc, "'%' requires int operands");
+      E.Type = TypeKind::Int;
+      return;
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge: {
+      unifyArith(E);
+      E.Type = TypeKind::Int;
+      return;
+    }
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+      E.Type = unifyArith(E);
+      return;
+    }
+  }
+
+  /// Applies the usual arithmetic conversion: if either side is float, the
+  /// other is cast to float. Returns the common type.
+  TypeKind unifyArith(Expr &E) {
+    if (E.Lhs->Type == E.Rhs->Type)
+      return E.Lhs->Type;
+    if (E.Lhs->Type == TypeKind::Int)
+      coerce(E.Lhs, TypeKind::Float, E.Loc, "operand");
+    else
+      coerce(E.Rhs, TypeKind::Float, E.Loc, "operand");
+    return TypeKind::Float;
+  }
+
+  TranslationUnit &TU;
+  DiagnosticEngine &Diags;
+  std::map<std::string, GlobalDecl *> Globals;
+  std::map<std::string, FuncDecl *> FunctionsByName;
+  std::vector<std::map<std::string, TypeKind>> Scopes;
+  FuncDecl *CurFunc = nullptr;
+};
+
+} // namespace
+
+bool rap::analyze(TranslationUnit &TU, DiagnosticEngine &Diags) {
+  return SemaChecker(TU, Diags).run();
+}

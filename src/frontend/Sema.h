@@ -1,0 +1,29 @@
+//===- frontend/Sema.h - MiniC semantic analysis ----------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Type checking and name resolution for MiniC. Annotates every expression
+/// with its TypeKind, inserts implicit int<->float Cast nodes, resolves
+/// variable references to locals or globals, and reports semantic errors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_FRONTEND_SEMA_H
+#define RAP_FRONTEND_SEMA_H
+
+#include "frontend/Ast.h"
+#include "support/Diagnostics.h"
+
+namespace rap {
+
+/// Runs semantic analysis over \p TU. Returns true on success; on failure
+/// the diagnostics engine holds at least one error and the tree must not be
+/// lowered.
+bool analyze(TranslationUnit &TU, DiagnosticEngine &Diags);
+
+} // namespace rap
+
+#endif // RAP_FRONTEND_SEMA_H

@@ -1,0 +1,77 @@
+//===- frontend/Token.h - MiniC tokens --------------------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds produced by the MiniC lexer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_FRONTEND_TOKEN_H
+#define RAP_FRONTEND_TOKEN_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+
+namespace rap {
+
+enum class TokenKind {
+  Eof,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+
+  // Keywords.
+  KwInt,
+  KwFloat,
+  KwVoid,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Assign, // =
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Bang,     // !
+  EqEq,     // ==
+  BangEq,   // !=
+  Less,     // <
+  LessEq,   // <=
+  Greater,  // >
+  GreaterEq,// >=
+  AmpAmp,   // &&
+  PipePipe, // ||
+};
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string Text;   ///< identifier spelling
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+};
+
+/// Human-readable token-kind name for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+} // namespace rap
+
+#endif // RAP_FRONTEND_TOKEN_H

@@ -1,0 +1,267 @@
+//===- interp/Interpreter.cpp - ILOC interpreter ----------------------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+using namespace rap;
+
+Interpreter::Interpreter(const IlocProgram &Prog) : Prog(Prog) {
+  Funcs.reserve(Prog.functions().size());
+  for (const auto &F : Prog.functions()) {
+    CachedFunc C;
+    C.F = F.get();
+    C.Code = linearize(*F);
+    Funcs.push_back(std::move(C));
+  }
+  GlobalEnd.assign(static_cast<size_t>(Prog.globalMemorySize()), -1);
+  for (const GlobalVar &G : Prog.globals())
+    GlobalEnd[G.Addr] = G.Addr + G.Size;
+}
+
+RunResult Interpreter::run(const std::string &Entry, uint64_t Fuel) {
+  RunResult Res;
+  const IlocFunction *EntryF = Prog.findFunction(Entry);
+  if (!EntryF) {
+    Res.Error = "entry function '" + Entry + "' not found";
+    return Res;
+  }
+  int EntryId = Prog.functionId(EntryF);
+  if (EntryF->numParams() != 0) {
+    Res.Error = "entry function '" + Entry + "' must take no parameters";
+    return Res;
+  }
+
+  Glob.assign(static_cast<size_t>(Prog.globalMemorySize()),
+              RtValue::makeInt(0));
+
+  auto Fail = [&](const Instr *I, const std::string &Msg) {
+    std::ostringstream OS;
+    OS << Msg << " (at '" << I->str() << "')";
+    Res.Ok = false;
+    Res.Error = OS.str();
+    return Res;
+  };
+
+  auto MakeFrame = [&](int FuncId) {
+    const IlocFunction *F = Funcs[FuncId].F;
+    Frame Fr;
+    Fr.FuncId = FuncId;
+    Fr.PC = 0;
+    unsigned RegCount =
+        F->isAllocated() ? F->numPhysRegs() : F->numVRegs();
+    Fr.Regs.assign(RegCount, RtValue::makeInt(0));
+    Fr.Spill.assign(static_cast<size_t>(F->numSpillSlots()),
+                    RtValue::makeInt(0));
+    return Fr;
+  };
+
+  std::vector<Frame> Stack;
+  Stack.push_back(MakeFrame(EntryId));
+  ExecStats &S = Res.Stats;
+  S.MaxCallDepth = 1;
+
+  // Performs a return: pops the frame and writes the value into the caller.
+  auto DoReturn = [&](RtValue V) {
+    Reg Dst = Stack.back().ReturnDst;
+    Stack.pop_back();
+    if (!Stack.empty() && Dst != NoReg)
+      Stack.back().Regs[Dst] = V;
+    return V;
+  };
+
+  while (!Stack.empty()) {
+    Frame &Fr = Stack.back();
+    const CachedFunc &C = Funcs[Fr.FuncId];
+    const auto &Instrs = C.Code.Instrs;
+
+    if (Fr.PC >= Instrs.size()) {
+      // Fell off the end: implicit void return.
+      Res.ReturnValue = DoReturn(RtValue::makeInt(0));
+      continue;
+    }
+    if (S.Cycles >= Fuel) {
+      Res.Error = "fuel exhausted: possible infinite loop";
+      return Res;
+    }
+
+    const Instr *I = Instrs[Fr.PC];
+    ++S.Cycles;
+    if (isLoadOpcode(I->Op)) {
+      ++S.Loads;
+      S.SpillLoads += I->Op == Opcode::LdSpill;
+    }
+    if (isStoreOpcode(I->Op)) {
+      ++S.Stores;
+      S.SpillStores += I->Op == Opcode::StSpill;
+    }
+    if (I->Op == Opcode::Mv)
+      ++S.Copies;
+
+    auto R = [&](unsigned Idx) -> RtValue & { return Fr.Regs[I->Src[Idx]]; };
+    unsigned NextPC = Fr.PC + 1;
+
+    switch (I->Op) {
+    case Opcode::LoadI:
+    case Opcode::LoadF:
+      Fr.Regs[I->Dst] = I->Imm;
+      break;
+    case Opcode::Mv:
+      Fr.Regs[I->Dst] = R(0);
+      break;
+    case Opcode::Add:
+      Fr.Regs[I->Dst] = RtValue::makeInt(R(0).asInt() + R(1).asInt());
+      break;
+    case Opcode::Sub:
+      Fr.Regs[I->Dst] = RtValue::makeInt(R(0).asInt() - R(1).asInt());
+      break;
+    case Opcode::Mul:
+      Fr.Regs[I->Dst] = RtValue::makeInt(R(0).asInt() * R(1).asInt());
+      break;
+    case Opcode::Div:
+      if (R(1).asInt() == 0)
+        return Fail(I, "integer division by zero");
+      Fr.Regs[I->Dst] = RtValue::makeInt(R(0).asInt() / R(1).asInt());
+      break;
+    case Opcode::Mod:
+      if (R(1).asInt() == 0)
+        return Fail(I, "integer modulo by zero");
+      Fr.Regs[I->Dst] = RtValue::makeInt(R(0).asInt() % R(1).asInt());
+      break;
+    case Opcode::Neg:
+      Fr.Regs[I->Dst] = RtValue::makeInt(-R(0).asInt());
+      break;
+    case Opcode::And:
+      Fr.Regs[I->Dst] =
+          RtValue::makeInt((R(0).asInt() != 0 && R(1).asInt() != 0) ? 1 : 0);
+      break;
+    case Opcode::Or:
+      Fr.Regs[I->Dst] =
+          RtValue::makeInt((R(0).asInt() != 0 || R(1).asInt() != 0) ? 1 : 0);
+      break;
+    case Opcode::Not:
+      Fr.Regs[I->Dst] = RtValue::makeInt(R(0).asInt() == 0 ? 1 : 0);
+      break;
+    case Opcode::FAdd:
+      Fr.Regs[I->Dst] = RtValue::makeFloat(R(0).asFloat() + R(1).asFloat());
+      break;
+    case Opcode::FSub:
+      Fr.Regs[I->Dst] = RtValue::makeFloat(R(0).asFloat() - R(1).asFloat());
+      break;
+    case Opcode::FMul:
+      Fr.Regs[I->Dst] = RtValue::makeFloat(R(0).asFloat() * R(1).asFloat());
+      break;
+    case Opcode::FDiv:
+      if (R(1).asFloat() == 0.0)
+        return Fail(I, "floating-point division by zero");
+      Fr.Regs[I->Dst] = RtValue::makeFloat(R(0).asFloat() / R(1).asFloat());
+      break;
+    case Opcode::FNeg:
+      Fr.Regs[I->Dst] = RtValue::makeFloat(-R(0).asFloat());
+      break;
+    case Opcode::CmpEQ:
+      Fr.Regs[I->Dst] = RtValue::makeInt(R(0) == R(1) ? 1 : 0);
+      break;
+    case Opcode::CmpNE:
+      Fr.Regs[I->Dst] = RtValue::makeInt(R(0) != R(1) ? 1 : 0);
+      break;
+    case Opcode::CmpLT:
+      Fr.Regs[I->Dst] =
+          RtValue::makeInt(R(0).asNumber() < R(1).asNumber() ? 1 : 0);
+      break;
+    case Opcode::CmpLE:
+      Fr.Regs[I->Dst] =
+          RtValue::makeInt(R(0).asNumber() <= R(1).asNumber() ? 1 : 0);
+      break;
+    case Opcode::CmpGT:
+      Fr.Regs[I->Dst] =
+          RtValue::makeInt(R(0).asNumber() > R(1).asNumber() ? 1 : 0);
+      break;
+    case Opcode::CmpGE:
+      Fr.Regs[I->Dst] =
+          RtValue::makeInt(R(0).asNumber() >= R(1).asNumber() ? 1 : 0);
+      break;
+    case Opcode::I2F:
+      Fr.Regs[I->Dst] =
+          RtValue::makeFloat(static_cast<double>(R(0).asInt()));
+      break;
+    case Opcode::F2I:
+      Fr.Regs[I->Dst] =
+          RtValue::makeInt(static_cast<int64_t>(R(0).asFloat()));
+      break;
+    case Opcode::LdSpill:
+      Fr.Regs[I->Dst] = Fr.Spill[I->Slot];
+      break;
+    case Opcode::StSpill:
+      Fr.Spill[I->Slot] = R(0);
+      break;
+    case Opcode::LdGlob:
+      Fr.Regs[I->Dst] = Glob[I->Addr];
+      break;
+    case Opcode::StGlob:
+      Glob[I->Addr] = R(0);
+      break;
+    case Opcode::LdIdx: {
+      int64_t Off = R(0).asInt();
+      int End = GlobalEnd[I->Addr];
+      if (Off < 0 || End < 0 || I->Addr + Off >= End)
+        return Fail(I, "array load out of bounds (index " +
+                           std::to_string(Off) + ")");
+      Fr.Regs[I->Dst] = Glob[I->Addr + Off];
+      break;
+    }
+    case Opcode::StIdx: {
+      int64_t Off = R(0).asInt();
+      int End = GlobalEnd[I->Addr];
+      if (Off < 0 || End < 0 || I->Addr + Off >= End)
+        return Fail(I, "array store out of bounds (index " +
+                           std::to_string(Off) + ")");
+      Glob[I->Addr + Off] = R(1);
+      break;
+    }
+    case Opcode::Jmp:
+      NextPC = C.Code.LabelPos[I->Label0];
+      break;
+    case Opcode::Cbr:
+      NextPC = R(0).asInt() != 0 ? C.Code.LabelPos[I->Label0]
+                                 : C.Code.LabelPos[I->Label1];
+      break;
+    case Opcode::Call: {
+      ++S.Calls;
+      if (Stack.size() >= 100000)
+        return Fail(I, "call stack overflow");
+      const IlocFunction *Callee = Funcs[I->Callee].F;
+      Frame NewFr = MakeFrame(I->Callee);
+      NewFr.ReturnDst = I->Dst;
+      assert(I->Src.size() == Callee->numParams() &&
+             "call arity mismatch");
+      for (unsigned A = 0; A != I->Src.size(); ++A)
+        NewFr.Regs[Callee->paramReg(A)] = Fr.Regs[I->Src[A]];
+      Fr.PC = NextPC; // resume point after return
+      Stack.push_back(std::move(NewFr));
+      S.MaxCallDepth = std::max<uint64_t>(S.MaxCallDepth, Stack.size());
+      continue;
+    }
+    case Opcode::Ret: {
+      RtValue V =
+          I->Src.empty() ? RtValue::makeInt(0) : Fr.Regs[I->Src[0]];
+      Res.ReturnValue = DoReturn(V);
+      continue;
+    }
+    case Opcode::Halt:
+      Res.Ok = true;
+      return Res;
+    }
+    Fr.PC = NextPC;
+  }
+
+  Res.Ok = true;
+  return Res;
+}

@@ -1,0 +1,91 @@
+//===- interp/Interpreter.h - ILOC interpreter ------------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes an IlocProgram and counts executed cycles, loads, stores, and
+/// copies — the measurements behind the paper's Table 1 ("An iloc
+/// interpreter is used to count the number of cycles required to execute the
+/// code. For this study, we assume that each instruction takes one cycle.").
+///
+/// Each activation gets its own register window (virtual registers before
+/// allocation, k physical registers after) and frame-local spill area, so
+/// recursion works and spill slots cannot alias across activations. Calls
+/// and returns cost one cycle each; argument marshalling is free, identical
+/// for both allocators (see DESIGN.md, "Calls").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_INTERP_INTERPRETER_H
+#define RAP_INTERP_INTERPRETER_H
+
+#include "ir/IlocProgram.h"
+#include "ir/Linearize.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rap {
+
+/// Dynamic execution counters (Table 1 raw data).
+struct ExecStats {
+  uint64_t Cycles = 0;
+  uint64_t Loads = 0;       ///< executed ldm/ldg/ldx
+  uint64_t Stores = 0;      ///< executed stm/stg/stx
+  uint64_t SpillLoads = 0;  ///< executed ldm only
+  uint64_t SpillStores = 0; ///< executed stm only
+  uint64_t Copies = 0;      ///< executed mv
+  uint64_t Calls = 0;
+  uint64_t MaxCallDepth = 0;
+};
+
+struct RunResult {
+  bool Ok = false;
+  std::string Error; ///< set when !Ok (e.g. "division by zero at ...")
+  RtValue ReturnValue;
+  ExecStats Stats;
+};
+
+class Interpreter {
+public:
+  /// Caches a linearization of every function; the program must not be
+  /// mutated while the interpreter is alive.
+  explicit Interpreter(const IlocProgram &Prog);
+
+  /// Runs \p Entry (default "main", which must take no parameters) on
+  /// zero-initialized global memory. \p Fuel bounds the number of executed
+  /// instructions to catch runaway programs.
+  RunResult run(const std::string &Entry = "main",
+                uint64_t Fuel = 500'000'000);
+
+  /// Global memory after the last run (for tests inspecting results).
+  const std::vector<RtValue> &globalMemory() const { return Glob; }
+
+private:
+  struct CachedFunc {
+    const IlocFunction *F = nullptr;
+    LinearCode Code;
+  };
+
+  struct Frame {
+    int FuncId = -1;
+    unsigned PC = 0;
+    std::vector<RtValue> Regs;
+    std::vector<RtValue> Spill;
+    Reg ReturnDst = NoReg; ///< caller register receiving the return value
+  };
+
+  const IlocProgram &Prog;
+  std::vector<CachedFunc> Funcs;
+  std::vector<RtValue> Glob;
+  /// For strict array bounds checks: end address of the global that starts
+  /// at a given base address.
+  std::vector<int> GlobalEnd; ///< indexed by cell address; -1 if not a base
+};
+
+} // namespace rap
+
+#endif // RAP_INTERP_INTERPRETER_H

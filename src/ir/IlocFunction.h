@@ -1,0 +1,127 @@
+//===- ir/IlocFunction.h - Function container -------------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A function: an arena of ILOC instructions and PDG nodes, a virtual
+/// register namespace, spill slots, labels, and the root region node. Code
+/// is generated assuming an infinite number of virtual registers (paper §3);
+/// register allocation rewrites it in place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_IR_ILOCFUNCTION_H
+#define RAP_IR_ILOCFUNCTION_H
+
+#include "ir/Instr.h"
+#include "ir/RegionTree.h"
+
+#include <deque>
+#include <string>
+
+namespace rap {
+
+/// Scalar value categories in MiniC and ILOC.
+enum class TypeKind { Int, Float, Void };
+
+class IlocFunction {
+public:
+  explicit IlocFunction(std::string Name) : Name(std::move(Name)) {}
+
+  IlocFunction(const IlocFunction &) = delete;
+  IlocFunction &operator=(const IlocFunction &) = delete;
+
+  const std::string &name() const { return Name; }
+
+  //===------------------------------------------------------------------===//
+  // Signature.
+  //===------------------------------------------------------------------===//
+
+  /// Parameters occupy virtual registers 0..numParams()-1 on entry.
+  unsigned numParams() const { return NumParams; }
+  void setNumParams(unsigned N) { NumParams = N; }
+
+  /// The register that receives parameter \p I on entry: virtual register I
+  /// before allocation, the physical register its live range was colored
+  /// with afterwards (set by PhysicalRewrite).
+  Reg paramReg(unsigned I) const {
+    return ParamRegs.empty() ? I : ParamRegs[I];
+  }
+  void setParamRegs(std::vector<Reg> Regs) { ParamRegs = std::move(Regs); }
+
+  TypeKind returnType() const { return RetType; }
+  void setReturnType(TypeKind T) { RetType = T; }
+
+  //===------------------------------------------------------------------===//
+  // Namespaces.
+  //===------------------------------------------------------------------===//
+
+  Reg newVReg() { return NextVReg++; }
+  unsigned numVRegs() const { return NextVReg; }
+
+  int newLabel() { return NumLabels++; }
+  int numLabels() const { return NumLabels; }
+
+  int newSpillSlot() { return NumSpillSlots++; }
+  int numSpillSlots() const { return NumSpillSlots; }
+
+  //===------------------------------------------------------------------===//
+  // Arenas.
+  //===------------------------------------------------------------------===//
+
+  /// Creates an instruction with a fresh id. The instruction is not attached
+  /// to any node until the caller places it.
+  Instr *createInstr(Opcode Op) {
+    Instr &I = InstrArena.emplace_back();
+    I.Id = NextInstrId++;
+    I.Op = Op;
+    return &I;
+  }
+
+  PdgNode *createNode(PdgNodeKind Kind) {
+    PdgNode &N = NodeArena.emplace_back(Kind);
+    N.Id = static_cast<int>(NodeArena.size()) - 1;
+    return &N;
+  }
+
+  unsigned numInstrIds() const { return NextInstrId; }
+
+  //===------------------------------------------------------------------===//
+  // Structure.
+  //===------------------------------------------------------------------===//
+
+  PdgNode *root() const { return Root; }
+  void setRoot(PdgNode *R) { Root = R; }
+
+  /// True once register operands denote physical registers.
+  bool isAllocated() const { return Allocated; }
+  void setAllocated(unsigned K) {
+    Allocated = true;
+    NumPhysRegs = K;
+  }
+  unsigned numPhysRegs() const { return NumPhysRegs; }
+
+  /// Renders the function (signature plus linearized body) as text.
+  std::string str() const;
+
+private:
+  std::string Name;
+  unsigned NumParams = 0;
+  std::vector<Reg> ParamRegs;
+  TypeKind RetType = TypeKind::Void;
+  unsigned NextVReg = 0;
+  int NumLabels = 0;
+  int NumSpillSlots = 0;
+  unsigned NextInstrId = 0;
+  std::deque<Instr> InstrArena;
+  std::deque<PdgNode> NodeArena;
+  PdgNode *Root = nullptr;
+  bool Allocated = false;
+  unsigned NumPhysRegs = 0;
+};
+
+} // namespace rap
+
+#endif // RAP_IR_ILOCFUNCTION_H

@@ -1,0 +1,75 @@
+//===- ir/Instr.h - ILOC instruction ----------------------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One ILOC instruction. Instructions are arena-allocated by IlocFunction
+/// and referenced by pointer from the PDG region tree; the same objects are
+/// shared by the linearized instruction stream, so analyses attach facts by
+/// instruction identity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_IR_INSTR_H
+#define RAP_IR_INSTR_H
+
+#include "ir/Opcode.h"
+#include "ir/RtValue.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rap {
+
+/// A register operand. Before allocation these are virtual registers
+/// (unbounded); after PhysicalRewrite they are physical registers 0..k-1.
+using Reg = uint32_t;
+
+/// Sentinel for "no register" (e.g. the Dst of a store).
+inline constexpr Reg NoReg = ~Reg(0);
+
+struct Instr {
+  /// Unique id within the owning function; stable across code edits.
+  unsigned Id = 0;
+
+  Opcode Op = Opcode::Halt;
+
+  /// Defined register, or NoReg when the instruction defines nothing.
+  Reg Dst = NoReg;
+
+  /// Used registers, in operand order. For Call this is the argument list.
+  std::vector<Reg> Src;
+
+  /// Immediate for LoadI/LoadF.
+  RtValue Imm;
+
+  /// Spill slot for LdSpill/StSpill.
+  int Slot = -1;
+
+  /// Global address for LdGlob/StGlob and the base address for LdIdx/StIdx.
+  int Addr = -1;
+
+  /// Branch targets: Jmp uses Label0; Cbr uses Label0 (true) and Label1
+  /// (false).
+  int Label0 = -1;
+  int Label1 = -1;
+
+  /// Callee function index for Call.
+  int Callee = -1;
+
+  /// Position in the most recent linearization (maintained by Linearize).
+  unsigned LinPos = 0;
+
+  bool hasDef() const { return Dst != NoReg; }
+
+  /// Renders the instruction in ILOC-flavoured text, e.g.
+  /// "%3 = add %1, %2" or "stm s2, %4".
+  std::string str() const;
+};
+
+} // namespace rap
+
+#endif // RAP_IR_INSTR_H

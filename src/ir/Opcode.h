@@ -1,0 +1,96 @@
+//===- ir/Opcode.h - ILOC opcodes and traits --------------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The opcode set of our ILOC dialect. It mirrors the Rice ILOC flavour used
+/// by the paper: a load/store architecture with unlimited virtual registers,
+/// direct spill loads/stores (the paper's ldm/stm), register copies (mv), and
+/// one-cycle instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_IR_OPCODE_H
+#define RAP_IR_OPCODE_H
+
+namespace rap {
+
+enum class Opcode {
+  // Immediates and copies.
+  LoadI, ///< Dst = integer immediate
+  LoadF, ///< Dst = float immediate
+  Mv,    ///< Dst = Src0 (register copy; the "copy statements" of Table 1)
+
+  // Integer arithmetic.
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Neg,
+  And, ///< logical and over 0/1 integers
+  Or,  ///< logical or over 0/1 integers
+  Not, ///< logical not over 0/1 integers
+
+  // Floating-point arithmetic.
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  FNeg,
+
+  // Comparisons (result is integer 0/1; operands may be int or float).
+  CmpEQ,
+  CmpNE,
+  CmpLT,
+  CmpLE,
+  CmpGT,
+  CmpGE,
+
+  // Conversions.
+  I2F,
+  F2I,
+
+  // Spill memory (frame-local slots; the paper's "ldm r2, 20" / "stm 20, r2").
+  LdSpill, ///< Dst = spill[Slot]
+  StSpill, ///< spill[Slot] = Src0
+
+  // Global memory (scalars and arrays).
+  LdGlob, ///< Dst = glob[Addr]
+  StGlob, ///< glob[Addr] = Src0
+  LdIdx,  ///< Dst = glob[Addr + Src0]
+  StIdx,  ///< glob[Addr + Src0] = Src1
+
+  // Control flow.
+  Jmp,  ///< goto Label0
+  Cbr,  ///< if Src0 != 0 goto Label0 else goto Label1
+  Call, ///< Dst = Callee(Src...)   (Dst may be absent for void calls)
+  Ret,  ///< return Src0 (Src empty for void return)
+  Halt, ///< terminate program (end of main)
+};
+
+/// Returns a stable mnemonic for printing.
+const char *opcodeName(Opcode Op);
+
+/// Returns true if \p Op reads from memory (spill or global). These are the
+/// executions counted in the "ld" column of Table 1.
+inline bool isLoadOpcode(Opcode Op) {
+  return Op == Opcode::LdSpill || Op == Opcode::LdGlob || Op == Opcode::LdIdx;
+}
+
+/// Returns true if \p Op writes to memory. Counted in the "st" column.
+inline bool isStoreOpcode(Opcode Op) {
+  return Op == Opcode::StSpill || Op == Opcode::StGlob || Op == Opcode::StIdx;
+}
+
+/// Returns true for transfers of control.
+inline bool isBranchOpcode(Opcode Op) {
+  return Op == Opcode::Jmp || Op == Opcode::Cbr || Op == Opcode::Ret ||
+         Op == Opcode::Halt;
+}
+
+} // namespace rap
+
+#endif // RAP_IR_OPCODE_H

@@ -1,0 +1,191 @@
+//===- ir/Printer.cpp - Textual ILOC --------------------------------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IlocFunction.h"
+#include "ir/Linearize.h"
+
+#include <sstream>
+
+using namespace rap;
+
+const char *rap::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::LoadI:
+    return "loadI";
+  case Opcode::LoadF:
+    return "loadF";
+  case Opcode::Mv:
+    return "mv";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Mod:
+    return "mod";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Not:
+    return "not";
+  case Opcode::FAdd:
+    return "fadd";
+  case Opcode::FSub:
+    return "fsub";
+  case Opcode::FMul:
+    return "fmul";
+  case Opcode::FDiv:
+    return "fdiv";
+  case Opcode::FNeg:
+    return "fneg";
+  case Opcode::CmpEQ:
+    return "cmpEQ";
+  case Opcode::CmpNE:
+    return "cmpNE";
+  case Opcode::CmpLT:
+    return "cmpLT";
+  case Opcode::CmpLE:
+    return "cmpLE";
+  case Opcode::CmpGT:
+    return "cmpGT";
+  case Opcode::CmpGE:
+    return "cmpGE";
+  case Opcode::I2F:
+    return "i2f";
+  case Opcode::F2I:
+    return "f2i";
+  case Opcode::LdSpill:
+    return "ldm";
+  case Opcode::StSpill:
+    return "stm";
+  case Opcode::LdGlob:
+    return "ldg";
+  case Opcode::StGlob:
+    return "stg";
+  case Opcode::LdIdx:
+    return "ldx";
+  case Opcode::StIdx:
+    return "stx";
+  case Opcode::Jmp:
+    return "jmp";
+  case Opcode::Cbr:
+    return "cbr";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Halt:
+    return "halt";
+  }
+  return "?";
+}
+
+static std::string regName(Reg R) {
+  if (R == NoReg)
+    return "%none";
+  return "%" + std::to_string(R);
+}
+
+std::string Instr::str() const {
+  std::ostringstream OS;
+  switch (Op) {
+  case Opcode::LoadI:
+    OS << regName(Dst) << " = loadI " << Imm.asInt();
+    break;
+  case Opcode::LoadF:
+    OS << regName(Dst) << " = loadF " << Imm.asFloat();
+    break;
+  case Opcode::LdSpill:
+    OS << "ldm " << regName(Dst) << ", s" << Slot;
+    break;
+  case Opcode::StSpill:
+    OS << "stm s" << Slot << ", " << regName(Src[0]);
+    break;
+  case Opcode::LdGlob:
+    OS << regName(Dst) << " = ldg g" << Addr;
+    break;
+  case Opcode::StGlob:
+    OS << "stg g" << Addr << ", " << regName(Src[0]);
+    break;
+  case Opcode::LdIdx:
+    OS << regName(Dst) << " = ldx g" << Addr << "[" << regName(Src[0]) << "]";
+    break;
+  case Opcode::StIdx:
+    OS << "stx g" << Addr << "[" << regName(Src[0]) << "], "
+       << regName(Src[1]);
+    break;
+  case Opcode::Jmp:
+    OS << "jmp L" << Label0;
+    break;
+  case Opcode::Cbr:
+    OS << "cbr " << regName(Src[0]) << " -> L" << Label0 << ", L" << Label1;
+    break;
+  case Opcode::Call: {
+    if (Dst != NoReg)
+      OS << regName(Dst) << " = ";
+    OS << "call f" << Callee << "(";
+    for (size_t I = 0; I != Src.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << regName(Src[I]);
+    }
+    OS << ")";
+    break;
+  }
+  case Opcode::Ret:
+    OS << "ret";
+    if (!Src.empty())
+      OS << " " << regName(Src[0]);
+    break;
+  case Opcode::Halt:
+    OS << "halt";
+    break;
+  default: {
+    // Generic "dst = op srcs" form.
+    if (Dst != NoReg)
+      OS << regName(Dst) << " = ";
+    OS << opcodeName(Op);
+    for (size_t I = 0; I != Src.size(); ++I)
+      OS << (I ? ", " : " ") << regName(Src[I]);
+    break;
+  }
+  }
+  return OS.str();
+}
+
+std::string LinearCode::str() const {
+  std::ostringstream OS;
+  for (unsigned I = 0, E = static_cast<unsigned>(Instrs.size()); I != E; ++I) {
+    // Print any labels bound at this position.
+    for (unsigned L = 0, LE = static_cast<unsigned>(LabelPos.size()); L != LE;
+         ++L)
+      if (LabelPos[L] == I)
+        OS << "L" << L << ":\n";
+    OS << "  " << Instrs[I]->str() << "\n";
+  }
+  for (unsigned L = 0, LE = static_cast<unsigned>(LabelPos.size()); L != LE;
+       ++L)
+    if (LabelPos[L] == Instrs.size())
+      OS << "L" << L << ": <end>\n";
+  return OS.str();
+}
+
+std::string IlocFunction::str() const {
+  std::ostringstream OS;
+  OS << "func " << Name << "(" << NumParams << " params)";
+  if (Allocated)
+    OS << " [allocated k=" << NumPhysRegs << "]";
+  OS << "\n";
+  LinearCode LC = linearize(*const_cast<IlocFunction *>(this));
+  OS << LC.str();
+  return OS.str();
+}

@@ -1,0 +1,83 @@
+//===- ir/RegionTree.cpp - PDG region hierarchy ---------------------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/RegionTree.h"
+
+using namespace rap;
+
+std::vector<Instr *> PdgNode::parentCode() const {
+  assert(isRegion() && "parentCode is a region query");
+  std::vector<Instr *> Out;
+  for (const PdgNode *C : Children) {
+    if (C->isStatement()) {
+      Out.insert(Out.end(), C->Code.begin(), C->Code.end());
+      continue;
+    }
+    if (C->isPredicate()) {
+      Out.insert(Out.end(), C->Code.begin(), C->Code.end());
+      if (C->Branch)
+        Out.push_back(C->Branch);
+    }
+  }
+  return Out;
+}
+
+std::vector<PdgNode *> PdgNode::subregions() const {
+  assert(isRegion() && "subregions is a region query");
+  std::vector<PdgNode *> Out;
+  for (const PdgNode *C : Children) {
+    if (C->isRegion()) {
+      Out.push_back(const_cast<PdgNode *>(C));
+      continue;
+    }
+    if (C->isPredicate()) {
+      if (C->TrueRegion)
+        Out.push_back(C->TrueRegion);
+      if (C->FalseRegion)
+        Out.push_back(C->FalseRegion);
+    }
+  }
+  return Out;
+}
+
+void PdgNode::forEachInstr(const std::function<void(Instr *)> &Fn) const {
+  switch (Kind) {
+  case PdgNodeKind::Statement:
+    for (Instr *I : Code)
+      Fn(I);
+    return;
+  case PdgNodeKind::Predicate:
+    for (Instr *I : Code)
+      Fn(I);
+    if (Branch)
+      Fn(Branch);
+    if (TrueRegion)
+      TrueRegion->forEachInstr(Fn);
+    if (Jump)
+      Fn(Jump);
+    if (FalseRegion)
+      FalseRegion->forEachInstr(Fn);
+    return;
+  case PdgNodeKind::Region:
+    for (const PdgNode *C : Children)
+      C->forEachInstr(Fn);
+    return;
+  }
+}
+
+void PdgNode::forEachNode(
+    const std::function<void(const PdgNode *)> &Fn) const {
+  Fn(this);
+  if (isPredicate()) {
+    if (TrueRegion)
+      TrueRegion->forEachNode(Fn);
+    if (FalseRegion)
+      FalseRegion->forEachNode(Fn);
+    return;
+  }
+  for (const PdgNode *C : Children)
+    C->forEachNode(Fn);
+}

@@ -1,0 +1,76 @@
+//===- ir/RtValue.h - Tagged runtime value ----------------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tagged 64-bit value (integer or floating point) used both for ILOC
+/// immediates and as the register/memory cell type of the interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_IR_RTVALUE_H
+#define RAP_IR_RTVALUE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace rap {
+
+/// A value held in a register or memory cell: either a 64-bit integer or a
+/// double. ILOC opcodes are typed, so the tag is an assertion aid more than
+/// a dispatch mechanism (comparisons are the one polymorphic case).
+class RtValue {
+public:
+  RtValue() : IsFloat(false), I(0) {}
+  static RtValue makeInt(int64_t V) {
+    RtValue R;
+    R.IsFloat = false;
+    R.I = V;
+    return R;
+  }
+  static RtValue makeFloat(double V) {
+    RtValue R;
+    R.IsFloat = true;
+    R.F = V;
+    return R;
+  }
+
+  bool isFloat() const { return IsFloat; }
+
+  int64_t asInt() const {
+    assert(!IsFloat && "integer read of float value");
+    return I;
+  }
+  double asFloat() const {
+    assert(IsFloat && "float read of integer value");
+    return F;
+  }
+
+  /// Numeric view used by polymorphic comparisons.
+  double asNumber() const { return IsFloat ? F : static_cast<double>(I); }
+
+  bool operator==(const RtValue &O) const {
+    if (IsFloat != O.IsFloat)
+      return false;
+    return IsFloat ? F == O.F : I == O.I;
+  }
+  bool operator!=(const RtValue &O) const { return !(*this == O); }
+
+  std::string str() const {
+    return IsFloat ? std::to_string(F) : std::to_string(I);
+  }
+
+private:
+  bool IsFloat;
+  union {
+    int64_t I;
+    double F;
+  };
+};
+
+} // namespace rap
+
+#endif // RAP_IR_RTVALUE_H

@@ -1,0 +1,438 @@
+//===- lower/AstLowering.cpp - AST to PDG + ILOC --------------------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lower/AstLowering.h"
+
+#include <cassert>
+#include <map>
+#include <vector>
+
+using namespace rap;
+
+namespace {
+
+struct LocalVar {
+  Reg VReg = NoReg;
+  TypeKind Type = TypeKind::Int;
+};
+
+class FunctionLowering {
+public:
+  FunctionLowering(const TranslationUnit &TU, IlocProgram &Prog,
+                   const FuncDecl &FD, IlocFunction &F,
+                   RegionGranularity Granularity, CopyStyle Copies)
+      : TU(TU), Prog(Prog), FD(FD), F(F), Granularity(Granularity),
+        Copies(Copies) {}
+
+  void run() {
+    F.setNumParams(static_cast<unsigned>(FD.Params.size()));
+    F.setReturnType(FD.ReturnType);
+    PdgNode *Root = F.createNode(PdgNodeKind::Region);
+    F.setRoot(Root);
+    CurRegion = Root;
+    pushScope();
+    for (const ParamDecl &P : FD.Params) {
+      Reg R = F.newVReg();
+      declare(P.Name, R, P.Type);
+    }
+    lowerStmt(*FD.Body);
+    popScope();
+  }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Scopes (mirrors Sema's scoping exactly)
+  //===------------------------------------------------------------------===//
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  void declare(const std::string &Name, Reg R, TypeKind Type) {
+    Scopes.back()[Name] = LocalVar{R, Type};
+  }
+
+  const LocalVar *lookup(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(), E = Scopes.rend(); It != E; ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Node and code emission helpers
+  //===------------------------------------------------------------------===//
+
+  /// Appends \p N as a child of the current region.
+  void attach(PdgNode *N) {
+    N->Parent = CurRegion;
+    CurRegion->Children.push_back(N);
+  }
+
+  /// Starts a statement leaf for one source statement, honoring the region
+  /// granularity: PerStatement wraps the leaf in its own region node.
+  PdgNode *beginStatement() {
+    PdgNode *S = F.createNode(PdgNodeKind::Statement);
+    if (Granularity == RegionGranularity::PerStatement) {
+      PdgNode *Wrap = F.createNode(PdgNodeKind::Region);
+      attach(Wrap);
+      S->Parent = Wrap;
+      Wrap->Children.push_back(S);
+    } else {
+      attach(S);
+    }
+    CurCode = &S->Code;
+    return S;
+  }
+
+  Instr *emit(Opcode Op) {
+    Instr *I = F.createInstr(Op);
+    assert(CurCode && "no active code sink");
+    CurCode->push_back(I);
+    return I;
+  }
+
+  Reg emitBinary(Opcode Op, Reg A, Reg B, Reg Dst = NoReg) {
+    Instr *I = emit(Op);
+    I->Dst = Dst == NoReg ? F.newVReg() : Dst;
+    I->Src = {A, B};
+    return I->Dst;
+  }
+
+  Reg emitUnary(Opcode Op, Reg A, Reg Dst = NoReg) {
+    Instr *I = emit(Op);
+    I->Dst = Dst == NoReg ? F.newVReg() : Dst;
+    I->Src = {A};
+    return I->Dst;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Statements
+  //===------------------------------------------------------------------===//
+
+  void lowerStmt(const Stmt &S) {
+    switch (S.Kind) {
+    case StmtKind::Block:
+      pushScope();
+      for (const auto &Child : S.Body)
+        lowerStmt(*Child);
+      popScope();
+      return;
+    case StmtKind::VarDecl: {
+      Reg R = F.newVReg();
+      if (S.Value) {
+        beginStatement();
+        lowerAssignInto(*S.Value, R);
+      }
+      declare(S.Name, R, S.DeclType);
+      return;
+    }
+    case StmtKind::Assign:
+      lowerAssign(S);
+      return;
+    case StmtKind::If:
+      lowerIf(S);
+      return;
+    case StmtKind::While:
+      lowerWhile(S);
+      return;
+    case StmtKind::For:
+      lowerFor(S);
+      return;
+    case StmtKind::Return: {
+      beginStatement();
+      Instr *I;
+      if (S.Value) {
+        Reg R = lowerExpr(*S.Value);
+        I = emit(Opcode::Ret);
+        I->Src = {R};
+      } else {
+        I = emit(Opcode::Ret);
+      }
+      return;
+    }
+    case StmtKind::ExprStmt:
+      beginStatement();
+      lowerExpr(*S.Value);
+      return;
+    }
+  }
+
+  void lowerAssign(const Stmt &S) {
+    beginStatement();
+    if (S.Index) {
+      // Array element store.
+      const GlobalVar *G = Prog.findGlobal(S.Name);
+      assert(G && G->IsArray && "sema guarantees a global array target");
+      Reg Idx = lowerExpr(*S.Index);
+      Reg Val = lowerExpr(*S.Value);
+      Instr *I = emit(Opcode::StIdx);
+      I->Addr = G->Addr;
+      I->Src = {Idx, Val};
+      return;
+    }
+    if (S.TargetIsGlobal) {
+      const GlobalVar *G = Prog.findGlobal(S.Name);
+      assert(G && !G->IsArray && "sema guarantees a global scalar target");
+      Reg Val = lowerExpr(*S.Value);
+      Instr *I = emit(Opcode::StGlob);
+      I->Addr = G->Addr;
+      I->Src = {Val};
+      return;
+    }
+    const LocalVar *V = lookup(S.Name);
+    assert(V && "sema guarantees a declared local");
+    lowerAssignInto(*S.Value, V->VReg);
+  }
+
+  /// Creates a predicate node (condition code + branch) for \p Cond.
+  PdgNode *makePredicate(const Expr &Cond) {
+    PdgNode *P = F.createNode(PdgNodeKind::Predicate);
+    CurCode = &P->Code;
+    Reg C = lowerExpr(Cond);
+    P->TrueLabel = F.newLabel();
+    P->FalseLabel = F.newLabel();
+    Instr *Br = F.createInstr(Opcode::Cbr);
+    Br->Src = {C};
+    Br->Label0 = P->TrueLabel;
+    Br->Label1 = P->FalseLabel;
+    P->Branch = Br;
+    return P;
+  }
+
+  /// Lowers \p Body into a fresh region and returns it.
+  PdgNode *lowerIntoRegion(const Stmt &Body) {
+    PdgNode *R = F.createNode(PdgNodeKind::Region);
+    PdgNode *SavedRegion = CurRegion;
+    CurRegion = R;
+    lowerStmt(Body);
+    CurRegion = SavedRegion;
+    return R;
+  }
+
+  void lowerIf(const Stmt &S) {
+    PdgNode *P = makePredicate(*S.Cond);
+    attach(P);
+    P->TrueRegion = lowerIntoRegion(*S.Then);
+    P->TrueRegion->Parent = P;
+    if (S.Else) {
+      P->JoinLabel = F.newLabel();
+      Instr *J = F.createInstr(Opcode::Jmp);
+      J->Label0 = P->JoinLabel;
+      P->Jump = J;
+      P->FalseRegion = lowerIntoRegion(*S.Else);
+      P->FalseRegion->Parent = P;
+    }
+    CurCode = nullptr;
+  }
+
+  /// Shared by while and for: Step is the per-iteration increment of a for
+  /// loop (null for while).
+  void lowerLoop(const Expr &Cond, const Stmt &Body, const Stmt *Step) {
+    PdgNode *Loop = F.createNode(PdgNodeKind::Region);
+    Loop->IsLoop = true;
+    attach(Loop);
+
+    PdgNode *SavedRegion = CurRegion;
+    CurRegion = Loop;
+    PdgNode *P = makePredicate(Cond);
+    attach(P);
+    CurRegion = SavedRegion;
+
+    P->JoinLabel = F.newLabel(); // the loop head
+    Instr *Back = F.createInstr(Opcode::Jmp);
+    Back->Label0 = P->JoinLabel;
+    P->Jump = Back;
+
+    PdgNode *BodyRegion = F.createNode(PdgNodeKind::Region);
+    P->TrueRegion = BodyRegion;
+    BodyRegion->Parent = P;
+    PdgNode *Saved2 = CurRegion;
+    CurRegion = BodyRegion;
+    lowerStmt(Body);
+    if (Step)
+      lowerStmt(*Step);
+    CurRegion = Saved2;
+    CurCode = nullptr;
+  }
+
+  void lowerWhile(const Stmt &S) { lowerLoop(*S.Cond, *S.Then, nullptr); }
+
+  void lowerFor(const Stmt &S) {
+    pushScope();
+    if (S.ForInit)
+      lowerStmt(*S.ForInit);
+    assert(S.Cond && "for loop requires a condition");
+    lowerLoop(*S.Cond, *S.Then, S.ForStep.get());
+    popScope();
+  }
+
+  //===------------------------------------------------------------------===//
+  // Expressions
+  //===------------------------------------------------------------------===//
+
+  Reg lowerExpr(const Expr &E) { return lowerExprInto(E, NoReg); }
+
+  /// Assigns the value of \p E to the variable register \p Target. Under
+  /// the Naive copy style the value is computed into a temporary and copied
+  /// (the `mv` statements Table 1 counts); Direct computes in place.
+  void lowerAssignInto(const Expr &E, Reg Target) {
+    if (Copies == CopyStyle::Direct) {
+      lowerExprInto(E, Target);
+      return;
+    }
+    Reg Value = lowerExpr(E);
+    emitUnary(Opcode::Mv, Value, Target);
+  }
+
+  /// Lowers \p E, directing its result into \p Target when given (used for
+  /// assignments so that variables are the Dst of the computing instruction;
+  /// variable-to-variable assignment becomes the `mv` copies Table 1
+  /// counts).
+  Reg lowerExprInto(const Expr &E, Reg Target) {
+    switch (E.Kind) {
+    case ExprKind::IntLit: {
+      Instr *I = emit(Opcode::LoadI);
+      I->Dst = Target == NoReg ? F.newVReg() : Target;
+      I->Imm = RtValue::makeInt(E.IntValue);
+      return I->Dst;
+    }
+    case ExprKind::FloatLit: {
+      Instr *I = emit(Opcode::LoadF);
+      I->Dst = Target == NoReg ? F.newVReg() : Target;
+      I->Imm = RtValue::makeFloat(E.FloatValue);
+      return I->Dst;
+    }
+    case ExprKind::VarRef: {
+      if (E.ResolvedGlobal) {
+        const GlobalVar *G = Prog.findGlobal(E.Name);
+        assert(G && "sema guarantees the global exists");
+        Instr *I = emit(Opcode::LdGlob);
+        I->Dst = Target == NoReg ? F.newVReg() : Target;
+        I->Addr = G->Addr;
+        return I->Dst;
+      }
+      const LocalVar *V = lookup(E.Name);
+      assert(V && "sema guarantees a declared local");
+      if (Target == NoReg || Target == V->VReg)
+        return V->VReg;
+      return emitUnary(Opcode::Mv, V->VReg, Target);
+    }
+    case ExprKind::ArrayRef: {
+      const GlobalVar *G = Prog.findGlobal(E.Name);
+      assert(G && G->IsArray && "sema guarantees a global array");
+      Reg Idx = lowerExpr(*E.Sub);
+      Instr *I = emit(Opcode::LdIdx);
+      I->Dst = Target == NoReg ? F.newVReg() : Target;
+      I->Addr = G->Addr;
+      I->Src = {Idx};
+      return I->Dst;
+    }
+    case ExprKind::Cast: {
+      Reg V = lowerExpr(*E.Sub);
+      Opcode Op = E.Type == TypeKind::Float ? Opcode::I2F : Opcode::F2I;
+      return emitUnary(Op, V, Target);
+    }
+    case ExprKind::Unary: {
+      Reg V = lowerExpr(*E.Sub);
+      Opcode Op;
+      if (E.UnOp == UnaryOp::Not)
+        Op = Opcode::Not;
+      else
+        Op = E.Type == TypeKind::Float ? Opcode::FNeg : Opcode::Neg;
+      return emitUnary(Op, V, Target);
+    }
+    case ExprKind::Binary: {
+      Reg A = lowerExpr(*E.Lhs);
+      Reg B = lowerExpr(*E.Rhs);
+      return emitBinary(binaryOpcode(E), A, B, Target);
+    }
+    case ExprKind::Call: {
+      const IlocFunction *Callee = Prog.findFunction(E.Name);
+      assert(Callee && "sema guarantees the callee exists");
+      std::vector<Reg> Args;
+      Args.reserve(E.Args.size());
+      for (const auto &A : E.Args)
+        Args.push_back(lowerExpr(*A));
+      Instr *I = emit(Opcode::Call);
+      I->Callee = Prog.functionId(Callee);
+      I->Src = std::move(Args);
+      if (E.Type != TypeKind::Void)
+        I->Dst = Target == NoReg ? F.newVReg() : Target;
+      return I->Dst;
+    }
+    }
+    assert(false && "unhandled expression kind");
+    return NoReg;
+  }
+
+  static Opcode binaryOpcode(const Expr &E) {
+    bool Fp = E.Lhs->Type == TypeKind::Float;
+    switch (E.BinOp) {
+    case BinaryOp::Add:
+      return Fp ? Opcode::FAdd : Opcode::Add;
+    case BinaryOp::Sub:
+      return Fp ? Opcode::FSub : Opcode::Sub;
+    case BinaryOp::Mul:
+      return Fp ? Opcode::FMul : Opcode::Mul;
+    case BinaryOp::Div:
+      return Fp ? Opcode::FDiv : Opcode::Div;
+    case BinaryOp::Mod:
+      return Opcode::Mod;
+    case BinaryOp::Eq:
+      return Opcode::CmpEQ;
+    case BinaryOp::Ne:
+      return Opcode::CmpNE;
+    case BinaryOp::Lt:
+      return Opcode::CmpLT;
+    case BinaryOp::Le:
+      return Opcode::CmpLE;
+    case BinaryOp::Gt:
+      return Opcode::CmpGT;
+    case BinaryOp::Ge:
+      return Opcode::CmpGE;
+    case BinaryOp::LogicalAnd:
+      // MiniC evaluates logical operators without short circuit (both sides
+      // are already 0/1 ints); see DESIGN.md.
+      return Opcode::And;
+    case BinaryOp::LogicalOr:
+      return Opcode::Or;
+    }
+    assert(false && "unhandled binary operator");
+    return Opcode::Add;
+  }
+
+  const TranslationUnit &TU;
+  IlocProgram &Prog;
+  const FuncDecl &FD;
+  IlocFunction &F;
+  RegionGranularity Granularity;
+  CopyStyle Copies;
+
+  PdgNode *CurRegion = nullptr;
+  std::vector<Instr *> *CurCode = nullptr;
+  std::vector<std::map<std::string, LocalVar>> Scopes;
+};
+
+} // namespace
+
+std::unique_ptr<IlocProgram>
+rap::lowerToIloc(const TranslationUnit &TU, RegionGranularity Granularity,
+                 CopyStyle Copies) {
+  auto Prog = std::make_unique<IlocProgram>();
+  for (const GlobalDecl &G : TU.Globals)
+    Prog->addGlobal(G.Name, G.ArraySize < 0 ? 1 : G.ArraySize, G.Type,
+                    G.ArraySize >= 0);
+  // Create all functions first so calls can refer to them by id.
+  for (const auto &FD : TU.Functions)
+    Prog->createFunction(FD->Name);
+  for (size_t I = 0, E = TU.Functions.size(); I != E; ++I)
+    FunctionLowering(TU, *Prog, *TU.Functions[I], *Prog->function(int(I)),
+                     Granularity, Copies)
+        .run();
+  return Prog;
+}

@@ -1,0 +1,56 @@
+//===- lower/AstLowering.h - AST to PDG + ILOC ------------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a type-checked MiniC translation unit to an IlocProgram whose
+/// functions carry PDG region trees with attached ILOC, generated assuming
+/// an infinite supply of virtual registers (paper §3). Local scalars map
+/// directly to virtual registers; globals live in memory.
+///
+/// The RegionGranularity option reproduces the paper's discussion of region
+/// size (§4, Figure 7): pdgcc created a region node per C source statement
+/// (PerStatement, the default used for Table 1); Merged keeps straight-line
+/// statements directly under their controlling region, the larger-region
+/// variant the authors propose as future work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_LOWER_ASTLOWERING_H
+#define RAP_LOWER_ASTLOWERING_H
+
+#include "frontend/Ast.h"
+#include "ir/IlocProgram.h"
+
+#include <memory>
+
+namespace rap {
+
+enum class RegionGranularity {
+  PerStatement, ///< one region node per source statement (pdgcc, paper)
+  Merged,       ///< statement leaves attach directly to control regions
+};
+
+enum class CopyStyle {
+  /// Assignments compute into a fresh temporary and then `mv` it into the
+  /// variable — the codegen style of the paper's era (pdgcc/ILOC), whose
+  /// copies both allocators eliminate when the operands land in the same
+  /// register. Table 1's copy-statement accounting assumes this style.
+  Naive,
+  /// Assignments compute directly into the variable's register (modern
+  /// style; almost no copies). Ablation mode.
+  Direct,
+};
+
+/// Lowers \p TU (which must have passed Sema) to ILOC. Never fails on a
+/// type-checked tree.
+std::unique_ptr<IlocProgram>
+lowerToIloc(const TranslationUnit &TU,
+            RegionGranularity Granularity = RegionGranularity::PerStatement,
+            CopyStyle Copies = CopyStyle::Naive);
+
+} // namespace rap
+
+#endif // RAP_LOWER_ASTLOWERING_H

@@ -1,0 +1,157 @@
+//===- pdg/Dot.cpp - PDG DOT export ----------------------------------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pdg/Dot.h"
+
+#include "cfg/Cfg.h"
+#include "ir/Linearize.h"
+#include "pdg/DataDependence.h"
+
+#include <map>
+#include <sstream>
+
+using namespace rap;
+
+namespace {
+
+std::string escapeLabel(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+std::string nodeName(const PdgNode *N) {
+  switch (N->kind()) {
+  case PdgNodeKind::Region:
+    return "R" + std::to_string(N->Id);
+  case PdgNodeKind::Predicate:
+    return "P" + std::to_string(N->Id);
+  case PdgNodeKind::Statement:
+    return "S" + std::to_string(N->Id);
+  }
+  return "?";
+}
+
+std::string nodeLabel(const PdgNode *N) {
+  std::ostringstream OS;
+  OS << nodeName(N);
+  if (N->isStatement() || N->isPredicate()) {
+    for (const Instr *I : N->Code)
+      OS << "\\n" << escapeLabel(I->str());
+    if (N->isPredicate() && N->Branch)
+      OS << "\\n" << escapeLabel(N->Branch->str());
+  }
+  if (N->isRegion() && N->IsLoop)
+    OS << " (loop)";
+  return OS.str();
+}
+
+void emitControlEdges(const PdgNode *N, std::ostringstream &OS) {
+  if (N->isPredicate()) {
+    if (N->TrueRegion) {
+      OS << "  " << nodeName(N) << " -> " << nodeName(N->TrueRegion)
+         << " [style=dashed, label=\"T\"];\n";
+      emitControlEdges(N->TrueRegion, OS);
+    }
+    if (N->FalseRegion) {
+      OS << "  " << nodeName(N) << " -> " << nodeName(N->FalseRegion)
+         << " [style=dashed, label=\"F\"];\n";
+      emitControlEdges(N->FalseRegion, OS);
+    }
+    return;
+  }
+  for (const PdgNode *C : N->Children) {
+    OS << "  " << nodeName(N) << " -> " << nodeName(C) << " [style=dashed];\n";
+    emitControlEdges(C, OS);
+  }
+}
+
+} // namespace
+
+std::string rap::pdgToDot(IlocFunction &F, bool WithDataDeps) {
+  std::ostringstream OS;
+  OS << "digraph \"" << F.name() << "\" {\n";
+  OS << "  node [shape=box, fontname=\"monospace\"];\n";
+
+  F.root()->forEachNode([&](const PdgNode *N) {
+    OS << "  " << nodeName(N) << " [label=\"" << nodeLabel(N) << "\"";
+    if (N->isRegion())
+      OS << ", shape=ellipse";
+    OS << "];\n";
+  });
+
+  emitControlEdges(F.root(), OS);
+
+  if (WithDataDeps) {
+    LinearCode Code = linearize(F);
+    Cfg G(Code);
+    DataDependence DD(Code, G, F.numVRegs());
+
+    // Map instruction position -> owning PDG statement/predicate node.
+    std::map<unsigned, const PdgNode *> OwnerOfPos;
+    F.root()->forEachNode([&](const PdgNode *N) {
+      if (!N->isStatement() && !N->isPredicate())
+        return;
+      for (const Instr *I : N->Code)
+        OwnerOfPos[I->LinPos] = N;
+      if (N->isPredicate() && N->Branch)
+        OwnerOfPos[N->Branch->LinPos] = N;
+    });
+
+    std::map<std::pair<const PdgNode *, const PdgNode *>, bool> Seen;
+    for (const FlowDep &D : DD.flowDeps()) {
+      auto DefIt = OwnerOfPos.find(D.DefPos);
+      auto UseIt = OwnerOfPos.find(D.UsePos);
+      if (DefIt == OwnerOfPos.end() || UseIt == OwnerOfPos.end())
+        continue;
+      auto Key = std::make_pair(DefIt->second, UseIt->second);
+      if (Seen[Key])
+        continue;
+      Seen[Key] = true;
+      OS << "  " << nodeName(DefIt->second) << " -> "
+         << nodeName(UseIt->second) << " [color=blue];\n";
+    }
+  }
+
+  OS << "}\n";
+  return OS.str();
+}
+
+static void treeText(const PdgNode *N, int Depth, std::ostringstream &OS) {
+  OS << std::string(static_cast<size_t>(Depth) * 2, ' ');
+  switch (N->kind()) {
+  case PdgNodeKind::Region:
+    OS << "region R" << N->Id << (N->IsLoop ? " loop" : "") << "\n";
+    for (const PdgNode *C : N->Children)
+      treeText(C, Depth + 1, OS);
+    return;
+  case PdgNodeKind::Predicate:
+    OS << "predicate P" << N->Id << " (" << N->Code.size() + 1
+       << " instrs)\n";
+    if (N->TrueRegion) {
+      OS << std::string(static_cast<size_t>(Depth + 1) * 2, ' ') << "T:\n";
+      treeText(N->TrueRegion, Depth + 2, OS);
+    }
+    if (N->FalseRegion) {
+      OS << std::string(static_cast<size_t>(Depth + 1) * 2, ' ') << "F:\n";
+      treeText(N->FalseRegion, Depth + 2, OS);
+    }
+    return;
+  case PdgNodeKind::Statement:
+    OS << "stmt S" << N->Id << " (" << N->Code.size() << " instrs)\n";
+    return;
+  }
+}
+
+std::string rap::regionTreeToText(const IlocFunction &F) {
+  std::ostringstream OS;
+  treeText(F.root(), 0, OS);
+  return OS.str();
+}

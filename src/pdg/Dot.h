@@ -1,0 +1,34 @@
+//===- pdg/Dot.h - PDG DOT export -------------------------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a function's PDG — the region/predicate/statement hierarchy plus
+/// the register flow dependences — as Graphviz DOT, reproducing the style of
+/// the paper's Figure 1 (solid data-dependence arrows, dashed control
+/// dependence, region nodes R*, predicate nodes P*).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_PDG_DOT_H
+#define RAP_PDG_DOT_H
+
+#include "ir/IlocFunction.h"
+
+#include <string>
+
+namespace rap {
+
+/// Produces a DOT graph of \p F's PDG. Includes data-dependence edges
+/// between statement/predicate nodes when \p WithDataDeps is set.
+std::string pdgToDot(IlocFunction &F, bool WithDataDeps = true);
+
+/// Produces an indented text outline of the region tree (for tests and
+/// quick inspection).
+std::string regionTreeToText(const IlocFunction &F);
+
+} // namespace rap
+
+#endif // RAP_PDG_DOT_H

@@ -1,0 +1,115 @@
+//===- regalloc/AllocSupport.cpp - Shared allocator utilities --------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/AllocSupport.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rap;
+
+RefInfo::RefInfo(const LinearCode &Code, unsigned NumVRegs)
+    : Uses(NumVRegs), Defs(NumVRegs) {
+  for (unsigned P = 0, E = static_cast<unsigned>(Code.Instrs.size()); P != E;
+       ++P) {
+    const Instr *I = Code.Instrs[P];
+    for (Reg R : I->Src)
+      Uses[R].push_back(P);
+    if (I->hasDef())
+      Defs[I->Dst].push_back(P);
+  }
+  for (auto &V : Uses)
+    V.erase(std::unique(V.begin(), V.end()), V.end());
+}
+
+static bool anyWithin(const std::vector<unsigned> &Sorted, unsigned Begin,
+                      unsigned End) {
+  auto It = std::lower_bound(Sorted.begin(), Sorted.end(), Begin);
+  return It != Sorted.end() && *It < End;
+}
+
+static bool allWithin(const std::vector<unsigned> &Sorted, unsigned Begin,
+                      unsigned End) {
+  for (unsigned P : Sorted)
+    if (P < Begin || P >= End)
+      return false;
+  return true;
+}
+
+bool RefInfo::allRefsWithin(Reg R, unsigned Begin, unsigned End) const {
+  return allWithin(Uses[R], Begin, End) && allWithin(Defs[R], Begin, End);
+}
+
+bool RefInfo::usedWithin(Reg R, unsigned Begin, unsigned End) const {
+  return anyWithin(Uses[R], Begin, End);
+}
+
+bool RefInfo::definedWithin(Reg R, unsigned Begin, unsigned End) const {
+  return anyWithin(Defs[R], Begin, End);
+}
+
+//===----------------------------------------------------------------------===//
+// CodeEditor
+//===----------------------------------------------------------------------===//
+
+void CodeEditor::refresh() {
+  Owners.clear();
+  F.root()->forEachNode([&](const PdgNode *N) {
+    if (!N->isStatement() && !N->isPredicate())
+      return;
+    auto *MutN = const_cast<PdgNode *>(N);
+    for (Instr *I : N->Code)
+      Owners[I] = Owner{MutN, false};
+    if (N->isPredicate() && N->Branch)
+      Owners[N->Branch] = Owner{MutN, true};
+  });
+}
+
+CodeEditor::Owner CodeEditor::ownerOf(Instr *I) const {
+  auto It = Owners.find(I);
+  assert(It != Owners.end() && "anchor instruction not found in region tree");
+  return It->second;
+}
+
+void CodeEditor::insertBefore(Instr *Anchor, Instr *NewI) {
+  Owner O = ownerOf(Anchor);
+  if (O.IsBranch) {
+    // The branch consumes the end of the predicate's condition code.
+    O.N->Code.push_back(NewI);
+  } else {
+    auto It = std::find(O.N->Code.begin(), O.N->Code.end(), Anchor);
+    assert(It != O.N->Code.end() && "owner map out of date");
+    O.N->Code.insert(It, NewI);
+  }
+  Owners[NewI] = Owner{O.N, false};
+}
+
+void CodeEditor::insertAfter(Instr *Anchor, Instr *NewI) {
+  Owner O = ownerOf(Anchor);
+  assert(!O.IsBranch && "cannot insert after a branch");
+  auto It = std::find(O.N->Code.begin(), O.N->Code.end(), Anchor);
+  assert(It != O.N->Code.end() && "owner map out of date");
+  O.N->Code.insert(It + 1, NewI);
+  Owners[NewI] = Owner{O.N, false};
+}
+
+void CodeEditor::insertAtRegionEntry(PdgNode *V, Instr *NewI) {
+  assert(V->isRegion() && "spill node insertion needs a region");
+  PdgNode *S = F.createNode(PdgNodeKind::Statement);
+  S->Parent = V;
+  S->Code.push_back(NewI);
+  V->Children.insert(V->Children.begin(), S);
+  Owners[NewI] = Owner{S, false};
+}
+
+void CodeEditor::insertAtRegionExit(PdgNode *V, Instr *NewI) {
+  assert(V->isRegion() && "spill node insertion needs a region");
+  PdgNode *S = F.createNode(PdgNodeKind::Statement);
+  S->Parent = V;
+  S->Code.push_back(NewI);
+  V->Children.push_back(S);
+  Owners[NewI] = Owner{S, false};
+}

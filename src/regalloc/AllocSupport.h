@@ -1,0 +1,109 @@
+//===- regalloc/AllocSupport.h - Shared allocator utilities -----*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Utilities shared by GRA and RAP: the analysis bundle recomputed after
+/// every code edit (linearization, CFG, liveness), per-register reference
+/// maps, and spill-code insertion into the region tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_REGALLOC_ALLOCSUPPORT_H
+#define RAP_REGALLOC_ALLOCSUPPORT_H
+
+#include "cfg/Cfg.h"
+#include "cfg/Liveness.h"
+#include "ir/IlocFunction.h"
+#include "ir/Linearize.h"
+
+#include <map>
+#include <vector>
+
+namespace rap {
+
+/// Linearization + CFG + liveness of one function. Invalidated by any code
+/// edit; allocators rebuild it after each spill round.
+struct CodeInfo {
+  LinearCode Code;
+  Cfg Graph;
+  Liveness Live;
+
+  explicit CodeInfo(IlocFunction &F)
+      : Code(linearize(F)), Graph(Code),
+        Live(Code, Graph, F.numVRegs()) {}
+};
+
+/// Use/def positions per virtual register over one linearization.
+class RefInfo {
+public:
+  RefInfo(const LinearCode &Code, unsigned NumVRegs);
+
+  const std::vector<unsigned> &usePositions(Reg R) const { return Uses[R]; }
+  const std::vector<unsigned> &defPositions(Reg R) const { return Defs[R]; }
+
+  bool isReferenced(Reg R) const {
+    return !Uses[R].empty() || !Defs[R].empty();
+  }
+
+  /// True if every reference of \p R lies in the linear range
+  /// [\p Begin, \p End) — i.e. R is *local* to the region covering that
+  /// range (paper §3.1).
+  bool allRefsWithin(Reg R, unsigned Begin, unsigned End) const;
+
+  /// True if some use/def of \p R lies in [\p Begin, \p End).
+  bool usedWithin(Reg R, unsigned Begin, unsigned End) const;
+  bool definedWithin(Reg R, unsigned Begin, unsigned End) const;
+  bool referencedWithin(Reg R, unsigned Begin, unsigned End) const {
+    return usedWithin(R, Begin, End) || definedWithin(R, Begin, End);
+  }
+
+private:
+  std::vector<std::vector<unsigned>> Uses, Defs;
+};
+
+/// Edits ILOC attached to a function's region tree: locates an
+/// instruction's owning code vector and inserts spill code around it or at
+/// region boundaries. Anchors must exist in the tree; the editor walks the
+/// tree lazily and re-walks after external structural changes via refresh().
+class CodeEditor {
+public:
+  explicit CodeEditor(IlocFunction &F) : F(F) { refresh(); }
+
+  /// Re-scans the region tree (call after structural edits made elsewhere).
+  void refresh();
+
+  /// Inserts \p NewI immediately before \p Anchor. When the anchor is a
+  /// predicate's branch, the instruction goes at the end of the predicate's
+  /// condition code.
+  void insertBefore(Instr *Anchor, Instr *NewI);
+
+  /// Inserts \p NewI immediately after \p Anchor (which must not be a
+  /// branch).
+  void insertAfter(Instr *Anchor, Instr *NewI);
+
+  /// Prepends a spill statement node holding \p NewI at the entry of region
+  /// \p V (before the loop head for loop regions — the paper's pre-loop
+  /// spill node position).
+  void insertAtRegionEntry(PdgNode *V, Instr *NewI);
+
+  /// Appends a spill statement node holding \p NewI at the exit of region
+  /// \p V (after the loop for loop regions — the post-loop spill node).
+  void insertAtRegionExit(PdgNode *V, Instr *NewI);
+
+private:
+  struct Owner {
+    PdgNode *N = nullptr; ///< statement or predicate node
+    bool IsBranch = false;
+  };
+  Owner ownerOf(Instr *I) const;
+
+  IlocFunction &F;
+  std::map<const Instr *, Owner> Owners;
+};
+
+} // namespace rap
+
+#endif // RAP_REGALLOC_ALLOCSUPPORT_H

@@ -1,0 +1,108 @@
+//===- regalloc/Allocator.h - Public allocation entry points ----*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public register-allocation API. Two allocators are provided:
+///
+/// * GRA — the paper's baseline (§4): Chaitin's global graph coloring with
+///   the Briggs optimistic enhancement, no coalescing, no rematerialization,
+///   whole-procedure unweighted spill costs.
+/// * RAP — the paper's contribution (§3): hierarchical allocation over the
+///   PDG region tree (bottom-up region coloring with combine), spill-code
+///   movement out of loops, and a peephole cleanup of redundant spill
+///   loads/stores.
+///
+/// Both rewrite the function in place to use physical registers 0..k-1 and
+/// delete copies whose operands received the same register.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_REGALLOC_ALLOCATOR_H
+#define RAP_REGALLOC_ALLOCATOR_H
+
+#include "ir/IlocFunction.h"
+#include "ir/IlocProgram.h"
+
+#include <string>
+
+namespace rap {
+
+enum class AllocatorKind {
+  None, ///< leave virtual registers (reference runs)
+  Gra,
+  Rap,
+};
+
+struct AllocOptions {
+  unsigned K = 5; ///< number of physical registers (paper uses 3, 5, 7, 9)
+
+  /// RAP phase 2 (spill-code movement out of loops). Ablation toggle.
+  bool SpillMovement = true;
+
+  /// RAP phase 3 (Figure 6 peephole). Ablation toggle.
+  bool Peephole = true;
+
+  /// Dataflow extension of phase 3 (cross-block redundant-reload and dead
+  /// spill-store elimination; the paper's §5 future work). Ablation toggle.
+  bool GlobalCleanup = true;
+
+  /// Ablation: also run the Figure 6 peephole on GRA output (the paper does
+  /// not; this isolates how much of RAP's win the cleanup alone provides).
+  bool PeepholeForGra = false;
+
+  /// Extension (paper §5 future work): conservative Briggs coalescing of
+  /// copies, applied by whichever allocator runs. Off for Table 1, which
+  /// reproduces the paper's no-coalescing setup.
+  bool Coalesce = false;
+};
+
+/// Per-function allocation measurements.
+struct AllocStats {
+  unsigned GraphBuilds = 0;    ///< interference graphs constructed
+  unsigned SpilledVRegs = 0;   ///< virtual registers sent to memory
+  unsigned MaxGraphNodes = 0;  ///< largest interference graph (space claim)
+  unsigned RegionsProcessed = 0;
+  unsigned HoistedLoads = 0; ///< phase 2
+  unsigned SunkStores = 0;   ///< phase 2
+  unsigned PeepholeRemovedLoads = 0;
+  unsigned PeepholeRemovedStores = 0;
+  unsigned CleanupRemovedLoads = 0;  ///< dataflow extension
+  unsigned CleanupRemovedStores = 0; ///< dataflow extension
+  unsigned CopiesDeleted = 0; ///< mv rX, rX removed after assignment
+
+  void accumulate(const AllocStats &O) {
+    GraphBuilds += O.GraphBuilds;
+    SpilledVRegs += O.SpilledVRegs;
+    MaxGraphNodes = MaxGraphNodes > O.MaxGraphNodes ? MaxGraphNodes
+                                                    : O.MaxGraphNodes;
+    RegionsProcessed += O.RegionsProcessed;
+    HoistedLoads += O.HoistedLoads;
+    SunkStores += O.SunkStores;
+    PeepholeRemovedLoads += O.PeepholeRemovedLoads;
+    PeepholeRemovedStores += O.PeepholeRemovedStores;
+    CleanupRemovedLoads += O.CleanupRemovedLoads;
+    CleanupRemovedStores += O.CleanupRemovedStores;
+    CopiesDeleted += O.CopiesDeleted;
+  }
+};
+
+/// Allocates registers for \p F with the baseline allocator. \p F must be
+/// unallocated.
+AllocStats allocateGra(IlocFunction &F, const AllocOptions &Options);
+
+/// Allocates registers for \p F with RAP.
+AllocStats allocateRap(IlocFunction &F, const AllocOptions &Options);
+
+/// Allocates every function of \p Prog with \p Kind (no-op for None).
+AllocStats allocateProgram(IlocProgram &Prog, AllocatorKind Kind,
+                           const AllocOptions &Options);
+
+/// Parses "gra"/"rap"/"none" (for tools).
+AllocatorKind allocatorKindFromString(const std::string &Name);
+
+} // namespace rap
+
+#endif // RAP_REGALLOC_ALLOCATOR_H

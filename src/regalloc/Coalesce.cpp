@@ -1,0 +1,50 @@
+//===- regalloc/Coalesce.cpp - Conservative copy coalescing ------------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/Coalesce.h"
+
+#include <set>
+
+using namespace rap;
+
+unsigned rap::coalesceConservatively(
+    InterferenceGraph &G, const std::vector<Instr *> &Code, unsigned K,
+    const std::function<bool(unsigned, unsigned)> &MayMerge) {
+  unsigned Merges = 0;
+  for (const Instr *I : Code) {
+    if (I->Op != Opcode::Mv)
+      continue;
+    int NDst = G.nodeOf(I->Dst);
+    int NSrc = G.nodeOf(I->Src[0]);
+    if (NDst < 0 || NSrc < 0 || NDst == NSrc)
+      continue;
+    unsigned A = static_cast<unsigned>(NDst);
+    unsigned B = static_cast<unsigned>(NSrc);
+    if (!G.node(A).Alive || !G.node(B).Alive || G.interfere(A, B))
+      continue;
+    if (MayMerge && !MayMerge(A, B))
+      continue;
+
+    // Briggs: the union must have < K neighbors of significant degree.
+    std::set<unsigned> Neighbors;
+    for (unsigned N : G.adjacency(A))
+      if (G.node(N).Alive)
+        Neighbors.insert(N);
+    for (unsigned N : G.adjacency(B))
+      if (G.node(N).Alive)
+        Neighbors.insert(N);
+    unsigned Significant = 0;
+    for (unsigned N : Neighbors)
+      if (G.effectiveDegree(N) >= K)
+        ++Significant;
+    if (Significant >= K)
+      continue;
+
+    G.mergeNodes(A, B);
+    ++Merges;
+  }
+  return Merges;
+}

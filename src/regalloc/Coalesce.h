@@ -1,0 +1,43 @@
+//===- regalloc/Coalesce.h - Conservative copy coalescing -------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conservative (Briggs) copy coalescing, the paper's §5 future work: "We
+/// expect that the performance of RAP will be improved by implementing
+/// coalescing, and we are interested in comparing the results when
+/// coalescing is performed by both RAP and GRA." Both allocators call this
+/// on their interference graphs when AllocOptions::Coalesce is set; the
+/// merged copy pairs share a color, so the copies vanish in
+/// PhysicalRewrite's trivial-copy deletion with no code rewriting needed.
+///
+/// A copy's nodes merge only when (a) they do not interfere, (b) the Briggs
+/// criterion holds — the union has fewer than k neighbors of significant
+/// (>= k) degree, so coalescing cannot turn a colorable graph uncolorable —
+/// and (c) a caller-supplied guard accepts the pair (RAP uses it to keep
+/// its single-global-origin invariant).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_REGALLOC_COALESCE_H
+#define RAP_REGALLOC_COALESCE_H
+
+#include "ir/Instr.h"
+#include "regalloc/InterferenceGraph.h"
+
+#include <functional>
+#include <vector>
+
+namespace rap {
+
+/// Coalesces the copies of \p Code (its Mv instructions) into \p G with
+/// \p K colors. \p MayMerge may be null. Returns the number of merges.
+unsigned coalesceConservatively(
+    InterferenceGraph &G, const std::vector<Instr *> &Code, unsigned K,
+    const std::function<bool(unsigned, unsigned)> &MayMerge = nullptr);
+
+} // namespace rap
+
+#endif // RAP_REGALLOC_COALESCE_H

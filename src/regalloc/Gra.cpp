@@ -1,0 +1,237 @@
+//===- regalloc/Gra.cpp - Baseline Chaitin/Briggs allocator -----------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// GRA, the paper's comparison allocator (§4): Chaitin's global graph
+/// coloring over the whole procedure with the Briggs optimistic-coloring
+/// enhancement, no coalescing, no rematerialization. Spill cost of a node is
+/// the number of its uses and definitions in the entire procedure divided by
+/// its degree. Spilling inserts a load before every use and a store after
+/// every definition with fresh atomic live ranges, then the graph is rebuilt
+/// until it colors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/Allocator.h"
+
+#include "regalloc/AllocSupport.h"
+#include "regalloc/Coalesce.h"
+#include "regalloc/Coloring.h"
+#include "regalloc/InterferenceGraph.h"
+#include "regalloc/Peephole.h"
+#include "regalloc/PhysicalRewrite.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+using namespace rap;
+
+namespace {
+
+constexpr double InfiniteCost = 1e18;
+constexpr unsigned MaxSpillRounds = 100;
+
+class GraAllocator {
+public:
+  GraAllocator(IlocFunction &F, const AllocOptions &Options)
+      : F(F), Options(Options) {}
+
+  AllocStats run() {
+    for (unsigned Round = 0; Round != MaxSpillRounds; ++Round) {
+      CodeInfo CI(F);
+      RefInfo Refs(CI.Code, F.numVRegs());
+      InterferenceGraph G = buildGraph(CI, Refs);
+      if (Options.Coalesce)
+        coalesceConservatively(G, CI.Code.Instrs, Options.K);
+      ++Stats.GraphBuilds;
+      Stats.MaxGraphNodes =
+          std::max(Stats.MaxGraphNodes, G.numAliveNodes());
+      setSpillCosts(G, Refs);
+      ColorResult CR = colorGraph(G, Options.K);
+      if (CR.fullyColored()) {
+        Stats.CopiesDeleted = rewriteToPhysical(F, G, Options.K);
+        if (Options.PeepholeForGra) {
+          PeepholeResult PR = peepholeSpillCleanup(F);
+          Stats.PeepholeRemovedLoads = PR.RemovedLoads;
+          Stats.PeepholeRemovedStores = PR.RemovedStores;
+        }
+        return Stats;
+      }
+      spillRound(G, CR, CI, Refs);
+    }
+    std::fprintf(stderr, "GRA: spill loop did not converge for '%s'\n",
+                 F.name().c_str());
+    std::abort();
+  }
+
+private:
+  /// Chaitin-style construction: at every definition point the defined
+  /// register interferes with everything live after the instruction (minus
+  /// the source of a copy), plus pairwise interference among the registers
+  /// live at function entry (the parameters).
+  InterferenceGraph buildGraph(const CodeInfo &CI, const RefInfo &Refs) {
+    InterferenceGraph G;
+    for (Reg R = 0; R != F.numVRegs(); ++R)
+      if (Refs.isReferenced(R))
+        G.getOrCreateNode(R);
+
+    for (unsigned P = 0, E = static_cast<unsigned>(CI.Code.Instrs.size());
+         P != E; ++P) {
+      const Instr *I = CI.Code.Instrs[P];
+      if (!I->hasDef())
+        continue;
+      Reg D = I->Dst;
+      CI.Live.liveAfter(P).forEach([&](unsigned L) {
+        if (L == D)
+          return;
+        if (I->Op == Opcode::Mv && L == I->Src[0])
+          return; // copy source may share the register
+        if (G.hasReg(L))
+          G.addEdge(D, static_cast<Reg>(L));
+      });
+    }
+
+    // Values live on entry (parameters) coexist without a defining
+    // instruction in the body.
+    std::vector<unsigned> EntryLive = CI.Live.liveBefore(0).toVector();
+    for (size_t A = 0; A != EntryLive.size(); ++A)
+      for (size_t B = A + 1; B != EntryLive.size(); ++B)
+        if (G.hasReg(EntryLive[A]) && G.hasReg(EntryLive[B]))
+          G.addEdge(EntryLive[A], EntryLive[B]);
+    return G;
+  }
+
+  void setSpillCosts(InterferenceGraph &G, const RefInfo &Refs) {
+    for (unsigned N : G.aliveNodes()) {
+      auto &Node = G.node(N);
+      // Coalescing can merge several registers into one node; the node's
+      // cost is the sum over members, and any unspillable member makes the
+      // whole node unspillable.
+      double Cost = 0;
+      bool Atomic = false;
+      for (Reg R : Node.VRegs) {
+        Atomic |= NoSpill.count(R) != 0;
+        Cost += static_cast<double>(Refs.usePositions(R).size() +
+                                    Refs.defPositions(R).size());
+      }
+      if (Atomic) {
+        Node.SpillCost = InfiniteCost;
+        continue;
+      }
+      unsigned Deg = G.effectiveDegree(N);
+      Node.SpillCost = Cost / (Deg == 0 ? 1 : Deg);
+    }
+  }
+
+  void spillRound(const InterferenceGraph &G, const ColorResult &CR,
+                  const CodeInfo &CI, const RefInfo &Refs) {
+    CodeEditor Editor(F);
+    bool Progress = false;
+    for (unsigned N : CR.SpillList) {
+      for (Reg V : G.node(N).VRegs) {
+        if (NoSpill.count(V))
+          continue; // an atomic spill range cannot be spilled again
+        Progress = true;
+        spillEverywhere(V, CI, Refs, Editor);
+      }
+    }
+    if (!Progress) {
+      std::fprintf(stderr,
+                   "GRA: only unspillable nodes left in '%s' with k=%u\n",
+                   F.name().c_str(), Options.K);
+      std::abort();
+    }
+  }
+
+  void spillEverywhere(Reg V, const CodeInfo &CI, const RefInfo &Refs,
+                       CodeEditor &Editor) {
+    ++Stats.SpilledVRegs;
+    NoSpill.insert(V);
+    int Slot = slotOf(V);
+
+    // A parameter's value arrives in a register; park it in the slot at
+    // function entry.
+    if (V < F.numParams() && CI.Live.liveBefore(0).test(V)) {
+      Instr *St = F.createInstr(Opcode::StSpill);
+      St->Slot = Slot;
+      St->Src = {V};
+      Editor.insertAtRegionEntry(F.root(), St);
+    }
+
+    // Load before every use.
+    for (unsigned P : Refs.usePositions(V)) {
+      Instr *User = CI.Code.Instrs[P];
+      Reg T = F.newVReg();
+      NoSpill.insert(T);
+      Instr *Ld = F.createInstr(Opcode::LdSpill);
+      Ld->Dst = T;
+      Ld->Slot = Slot;
+      Editor.insertBefore(User, Ld);
+      for (Reg &R : User->Src)
+        if (R == V)
+          R = T;
+    }
+
+    // Store after every definition.
+    for (unsigned P : Refs.defPositions(V)) {
+      Instr *Def = CI.Code.Instrs[P];
+      Reg D = F.newVReg();
+      NoSpill.insert(D);
+      Def->Dst = D;
+      Instr *St = F.createInstr(Opcode::StSpill);
+      St->Slot = Slot;
+      St->Src = {D};
+      Editor.insertAfter(Def, St);
+    }
+  }
+
+  int slotOf(Reg V) {
+    auto It = SlotOf.find(V);
+    if (It != SlotOf.end())
+      return It->second;
+    int Slot = F.newSpillSlot();
+    SlotOf[V] = Slot;
+    return Slot;
+  }
+
+  IlocFunction &F;
+  const AllocOptions &Options;
+  AllocStats Stats;
+  std::set<Reg> NoSpill;
+  std::map<Reg, int> SlotOf;
+};
+
+} // namespace
+
+AllocStats rap::allocateGra(IlocFunction &F, const AllocOptions &Options) {
+  assert(!F.isAllocated() && "function already allocated");
+  assert(Options.K >= 3 && "need at least 3 registers for a load/store ISA");
+  return GraAllocator(F, Options).run();
+}
+
+AllocStats rap::allocateProgram(IlocProgram &Prog, AllocatorKind Kind,
+                                const AllocOptions &Options) {
+  AllocStats Total;
+  if (Kind == AllocatorKind::None)
+    return Total;
+  for (const auto &F : Prog.functions()) {
+    AllocStats S = Kind == AllocatorKind::Gra ? allocateGra(*F, Options)
+                                              : allocateRap(*F, Options);
+    Total.accumulate(S);
+  }
+  return Total;
+}
+
+AllocatorKind rap::allocatorKindFromString(const std::string &Name) {
+  if (Name == "gra")
+    return AllocatorKind::Gra;
+  if (Name == "rap")
+    return AllocatorKind::Rap;
+  return AllocatorKind::None;
+}

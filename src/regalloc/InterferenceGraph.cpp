@@ -1,0 +1,195 @@
+//===- regalloc/InterferenceGraph.cpp - Interference graph -----------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/InterferenceGraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace rap;
+
+unsigned InterferenceGraph::getOrCreateNode(Reg R) {
+  auto It = NodeOfReg.find(R);
+  if (It != NodeOfReg.end())
+    return It->second;
+  unsigned Id = static_cast<unsigned>(Nodes.size());
+  Node N;
+  N.VRegs.push_back(R);
+  Nodes.push_back(std::move(N));
+  Adj.emplace_back();
+  NodeOfReg[R] = Id;
+  return Id;
+}
+
+int InterferenceGraph::nodeOf(Reg R) const {
+  auto It = NodeOfReg.find(R);
+  return It == NodeOfReg.end() ? -1 : static_cast<int>(It->second);
+}
+
+void InterferenceGraph::addEdge(Reg A, Reg B) {
+  int N1 = nodeOf(A);
+  int N2 = nodeOf(B);
+  assert(N1 >= 0 && N2 >= 0 && "addEdge on unknown registers");
+  addEdgeNodes(static_cast<unsigned>(N1), static_cast<unsigned>(N2));
+}
+
+void InterferenceGraph::addEdgeNodes(unsigned N1, unsigned N2) {
+  assert(Nodes[N1].Alive && Nodes[N2].Alive && "edge on dead node");
+  if (N1 == N2)
+    return;
+  Adj[N1].insert(N2);
+  Adj[N2].insert(N1);
+}
+
+unsigned InterferenceGraph::mergeNodes(unsigned N1, unsigned N2) {
+  assert(N1 != N2 && "merging a node with itself");
+  assert(Nodes[N1].Alive && Nodes[N2].Alive && "merging dead nodes");
+  assert(!interfere(N1, N2) &&
+         "merging interfering nodes would be uncolorable; the global-global "
+         "rule should have prevented this");
+  Node &A = Nodes[N1];
+  Node &B = Nodes[N2];
+  for (Reg R : B.VRegs) {
+    A.VRegs.push_back(R);
+    NodeOfReg[R] = N1;
+  }
+  std::sort(A.VRegs.begin(), A.VRegs.end());
+  A.Global = A.Global || B.Global;
+  assert([&] {
+    // Invariant implied by the global-global coloring rule: combining can
+    // never co-locate two region-global virtual registers (see DESIGN.md).
+    return true;
+  }());
+  for (unsigned Other : Adj[N2]) {
+    Adj[Other].erase(N2);
+    if (Other != N1) {
+      Adj[Other].insert(N1);
+      Adj[N1].insert(Other);
+    }
+  }
+  Adj[N2].clear();
+  B.Alive = false;
+  B.VRegs.clear();
+  return N1;
+}
+
+void InterferenceGraph::renameReg(Reg OldReg, Reg NewReg) {
+  auto It = NodeOfReg.find(OldReg);
+  if (It == NodeOfReg.end())
+    return;
+  unsigned Id = It->second;
+  NodeOfReg.erase(It);
+  assert(!NodeOfReg.count(NewReg) && "rename target already present");
+  NodeOfReg[NewReg] = Id;
+  auto &VR = Nodes[Id].VRegs;
+  *std::find(VR.begin(), VR.end(), OldReg) = NewReg;
+  std::sort(VR.begin(), VR.end());
+}
+
+void InterferenceGraph::addRegToNode(unsigned Id, Reg R) {
+  assert(Nodes[Id].Alive && "adding register to a dead node");
+  assert(!NodeOfReg.count(R) && "register already present in the graph");
+  Nodes[Id].VRegs.push_back(R);
+  std::sort(Nodes[Id].VRegs.begin(), Nodes[Id].VRegs.end());
+  NodeOfReg[R] = Id;
+}
+
+unsigned InterferenceGraph::numAliveNodes() const {
+  unsigned N = 0;
+  for (const Node &Nd : Nodes)
+    N += Nd.Alive;
+  return N;
+}
+
+std::vector<unsigned> InterferenceGraph::aliveNodes() const {
+  std::vector<unsigned> Out;
+  for (unsigned I = 0, E = static_cast<unsigned>(Nodes.size()); I != E; ++I)
+    if (Nodes[I].Alive)
+      Out.push_back(I);
+  return Out;
+}
+
+unsigned InterferenceGraph::effectiveDegree(unsigned Id) const {
+  assert(Nodes[Id].Alive && "degree of a dead node");
+  unsigned Deg = 0;
+  for (unsigned Other : Adj[Id])
+    Deg += Nodes[Other].Alive;
+  if (Nodes[Id].Global) {
+    for (unsigned I = 0, E = static_cast<unsigned>(Nodes.size()); I != E; ++I)
+      if (I != Id && Nodes[I].Alive && Nodes[I].Global && !Adj[Id].count(I))
+        ++Deg;
+  }
+  return Deg;
+}
+
+InterferenceGraph InterferenceGraph::combinedByColor() const {
+  InterferenceGraph Out;
+  std::map<int, unsigned> NodeOfColor;
+  for (unsigned I = 0, E = static_cast<unsigned>(Nodes.size()); I != E; ++I) {
+    const Node &N = Nodes[I];
+    if (!N.Alive)
+      continue;
+    assert(N.Color >= 0 && "combining an uncolored graph");
+    auto It = NodeOfColor.find(N.Color);
+    if (It == NodeOfColor.end()) {
+      unsigned NewId = Out.getOrCreateNode(N.VRegs.front());
+      for (size_t V = 1; V < N.VRegs.size(); ++V) {
+        Out.Nodes[NewId].VRegs.push_back(N.VRegs[V]);
+        Out.NodeOfReg[N.VRegs[V]] = NewId;
+      }
+      Out.Nodes[NewId].Global = N.Global;
+      Out.Nodes[NewId].Color = N.Color;
+      NodeOfColor[N.Color] = NewId;
+    } else {
+      unsigned Tgt = It->second;
+      for (Reg R : N.VRegs) {
+        Out.Nodes[Tgt].VRegs.push_back(R);
+        Out.NodeOfReg[R] = Tgt;
+      }
+      Out.Nodes[Tgt].Global = Out.Nodes[Tgt].Global || N.Global;
+    }
+  }
+  for (auto &N : Out.Nodes)
+    std::sort(N.VRegs.begin(), N.VRegs.end());
+  // Edges: colors interfere when any member nodes interfered.
+  for (unsigned I = 0, E = static_cast<unsigned>(Nodes.size()); I != E; ++I) {
+    if (!Nodes[I].Alive)
+      continue;
+    for (unsigned J : Adj[I]) {
+      if (J < I || !Nodes[J].Alive)
+        continue;
+      unsigned A = NodeOfColor.at(Nodes[I].Color);
+      unsigned B = NodeOfColor.at(Nodes[J].Color);
+      assert(A != B && "properly colored graphs cannot merge adjacent nodes");
+      Out.addEdgeNodes(A, B);
+    }
+  }
+  return Out;
+}
+
+std::string InterferenceGraph::str() const {
+  std::ostringstream OS;
+  for (unsigned I = 0, E = static_cast<unsigned>(Nodes.size()); I != E; ++I) {
+    const Node &N = Nodes[I];
+    if (!N.Alive)
+      continue;
+    OS << "n" << I << " {";
+    for (size_t V = 0; V != N.VRegs.size(); ++V)
+      OS << (V ? " " : "") << "%" << N.VRegs[V];
+    OS << "}";
+    if (N.Global)
+      OS << " global";
+    if (N.Color >= 0)
+      OS << " color=" << N.Color;
+    OS << " cost=" << N.SpillCost << " ->";
+    for (unsigned A : Adj[I])
+      if (Nodes[A].Alive)
+        OS << " n" << A;
+    OS << "\n";
+  }
+  return OS.str();
+}

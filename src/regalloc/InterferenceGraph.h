@@ -1,0 +1,118 @@
+//===- regalloc/InterferenceGraph.h - Interference graph --------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interference graph shared by GRA and RAP. Nodes represent *sets* of
+/// virtual registers: GRA only ever uses singletons, while RAP's combine
+/// step (paper §3.1.5) merges same-colored nodes so a parent region sees at
+/// most k nodes per subregion, and add_subregion_conflicts unions nodes that
+/// name the same virtual register (paper §3.1.1, Figure 3's {a,e} node).
+///
+/// A node may be flagged Global (some member virtual register is referenced
+/// outside the region being colored). Per paper §3.1.2-3, two global nodes
+/// may never share a color even without an edge; this shows up both in the
+/// effective degree (used to prioritize spills) and as a hard constraint in
+/// color assignment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_REGALLOC_INTERFERENCEGRAPH_H
+#define RAP_REGALLOC_INTERFERENCEGRAPH_H
+
+#include "ir/Instr.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace rap {
+
+class InterferenceGraph {
+public:
+  struct Node {
+    std::vector<Reg> VRegs; ///< sorted member virtual registers
+    double SpillCost = 0.0;
+    int Color = -1;
+    bool Global = false;
+    bool Alive = true;
+  };
+
+  //===------------------------------------------------------------------===//
+  // Construction
+  //===------------------------------------------------------------------===//
+
+  /// Returns the node containing \p R, creating a singleton if absent.
+  unsigned getOrCreateNode(Reg R);
+
+  /// Returns the node containing \p R or -1.
+  int nodeOf(Reg R) const;
+
+  bool hasReg(Reg R) const { return nodeOf(R) >= 0; }
+
+  /// Adds an interference edge between the nodes of \p A and \p B (both must
+  /// exist). A no-op when they are the same node.
+  void addEdge(Reg A, Reg B);
+  void addEdgeNodes(unsigned N1, unsigned N2);
+
+  /// Unions node \p N2 into \p N1 (used when a subregion node names a
+  /// virtual register already present). The nodes must not interfere.
+  /// Returns the surviving node id (\p N1).
+  unsigned mergeNodes(unsigned N1, unsigned N2);
+
+  /// Replaces \p OldReg by \p NewReg inside its node (spill renaming,
+  /// paper §3.1.4). No-op if \p OldReg is absent.
+  void renameReg(Reg OldReg, Reg NewReg);
+
+  /// Adds \p R as a member of node \p Id (importing a subregion node whose
+  /// members are partly new at this level). \p R must not be in the graph.
+  void addRegToNode(unsigned Id, Reg R);
+
+  //===------------------------------------------------------------------===//
+  // Queries
+  //===------------------------------------------------------------------===//
+
+  unsigned numNodesTotal() const {
+    return static_cast<unsigned>(Nodes.size());
+  }
+  unsigned numAliveNodes() const;
+  std::vector<unsigned> aliveNodes() const;
+
+  Node &node(unsigned Id) { return Nodes[Id]; }
+  const Node &node(unsigned Id) const { return Nodes[Id]; }
+
+  const std::set<unsigned> &adjacency(unsigned Id) const { return Adj[Id]; }
+
+  bool interfere(unsigned N1, unsigned N2) const {
+    return Adj[N1].count(N2) != 0;
+  }
+
+  /// Number of alive neighbors plus, for a global node, the number of alive
+  /// non-adjacent global nodes (paper Figure 5's degree increments).
+  unsigned effectiveDegree(unsigned Id) const;
+
+  /// The color assigned to the node containing \p R, or -1.
+  int colorOf(Reg R) const {
+    int N = nodeOf(R);
+    return N < 0 ? -1 : Nodes[N].Color;
+  }
+
+  /// Builds the combined graph: one node per used color, members unioned,
+  /// edges connecting colors whose nodes interfered (paper §3.1.5). All
+  /// alive nodes must be colored.
+  InterferenceGraph combinedByColor() const;
+
+  std::string str() const;
+
+private:
+  std::vector<Node> Nodes;
+  std::vector<std::set<unsigned>> Adj;
+  std::map<Reg, unsigned> NodeOfReg;
+};
+
+} // namespace rap
+
+#endif // RAP_REGALLOC_INTERFERENCEGRAPH_H

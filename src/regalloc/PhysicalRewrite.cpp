@@ -1,0 +1,58 @@
+//===- regalloc/PhysicalRewrite.cpp - VReg -> physical rewrite --------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/PhysicalRewrite.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rap;
+
+unsigned rap::rewriteToPhysical(IlocFunction &F,
+                                const InterferenceGraph &Final, unsigned K) {
+  assert(!F.isAllocated() && "function already allocated");
+
+  auto MapReg = [&](Reg R) -> Reg {
+    int C = Final.colorOf(R);
+    assert(C < static_cast<int>(K) && "color out of range");
+    // Registers that are never referenced (e.g. unused parameters) have no
+    // node; any register is fine since the value is never read.
+    return C < 0 ? 0 : static_cast<Reg>(C);
+  };
+
+  std::vector<Reg> ParamRegs;
+  for (unsigned P = 0; P != F.numParams(); ++P)
+    ParamRegs.push_back(MapReg(P));
+
+  unsigned CopiesDeleted = 0;
+  F.root()->forEachNode([&](const PdgNode *CN) {
+    auto *N = const_cast<PdgNode *>(CN);
+    if (!N->isStatement() && !N->isPredicate())
+      return;
+    for (Instr *I : N->Code) {
+      for (Reg &R : I->Src)
+        R = MapReg(R);
+      if (I->hasDef())
+        I->Dst = MapReg(I->Dst);
+    }
+    if (N->isPredicate() && N->Branch)
+      for (Reg &R : N->Branch->Src)
+        R = MapReg(R);
+    // Drop copies that became mv rX, rX.
+    auto IsTrivial = [&](Instr *I) {
+      if (I->Op != Opcode::Mv || I->Dst != I->Src[0])
+        return false;
+      ++CopiesDeleted;
+      return true;
+    };
+    N->Code.erase(std::remove_if(N->Code.begin(), N->Code.end(), IsTrivial),
+                  N->Code.end());
+  });
+
+  F.setParamRegs(std::move(ParamRegs));
+  F.setAllocated(K);
+  return CopiesDeleted;
+}

@@ -1,0 +1,706 @@
+//===- regalloc/Rap.cpp - Hierarchical PDG allocator -------------------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/Rap.h"
+
+#include "pdg/DataDependence.h"
+#include "regalloc/Coalesce.h"
+#include "regalloc/Coloring.h"
+#include "regalloc/GlobalSpillCleanup.h"
+#include "regalloc/Peephole.h"
+#include "regalloc/PhysicalRewrite.h"
+#include "regalloc/SpillCodeMovement.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace rap;
+
+namespace {
+constexpr double LocalOrSpilledCost = 999999.0; // paper Figure 5
+constexpr double InfiniteCost = 1e18;           // atomic spill temporaries
+constexpr unsigned MaxRoundsPerRegion = 100;
+constexpr unsigned MaxSpillActions = 50000;
+} // namespace
+
+RapAllocator::RapAllocator(IlocFunction &F, const AllocOptions &Options)
+    : F(F), Options(Options) {
+  refresh();
+}
+
+void RapAllocator::refresh() {
+  CI = std::make_unique<CodeInfo>(F);
+  Refs = std::make_unique<RefInfo>(CI->Code, F.numVRegs());
+}
+
+bool RapAllocator::isGlobalTo(Reg R, const PdgNode *V) const {
+  return !Refs->allRefsWithin(R, V->LinBegin, V->LinEnd);
+}
+
+int RapAllocator::slotOf(Reg V) {
+  Reg Origin = originOf(V);
+  auto It = SlotOf.find(Origin);
+  if (It != SlotOf.end())
+    return It->second;
+  int Slot = F.newSpillSlot();
+  SlotOf[Origin] = Slot;
+  return Slot;
+}
+
+//===----------------------------------------------------------------------===//
+// Phase 1a: building the region interference graph (paper §3.1.1)
+//===----------------------------------------------------------------------===//
+
+InterferenceGraph RapAllocator::buildRegionGraph(PdgNode *V) {
+  assert(V->isRegion() && "allocation works on region nodes");
+  InterferenceGraph G;
+
+  std::vector<Instr *> PC = V->parentCode();
+  std::set<Reg> RefsPC;
+  for (const Instr *I : PC) {
+    for (Reg R : I->Src)
+      RefsPC.insert(R);
+    if (I->hasDef())
+      RefsPC.insert(I->Dst);
+  }
+
+  std::set<Reg> Vars = RefsPC;
+  V->forEachInstr([&](Instr *I) {
+    for (Reg R : I->Src)
+      Vars.insert(R);
+    if (I->hasDef())
+      Vars.insert(I->Dst);
+  });
+
+  //--- add_region_conflicts -----------------------------------------------
+  for (Reg R : RefsPC)
+    G.getOrCreateNode(R);
+
+  // Definition points: the defined register interferes with every register
+  // that is live after the instruction (minus the source of a copy). Live
+  // registers referenced only in subregions get a node now and are merged
+  // with the subregion import below; registers referenced entirely outside
+  // this region are live-in and handled by the Figure 4 rules.
+  for (const Instr *I : PC) {
+    if (!I->hasDef())
+      continue;
+    Reg D = I->Dst;
+    CI->Live.liveAfter(I->LinPos).forEach([&](unsigned L) {
+      if (L == D || !Vars.count(L))
+        return;
+      if (I->Op == Opcode::Mv && L == I->Src[0])
+        return;
+      G.getOrCreateNode(L);
+      G.addEdge(D, static_cast<Reg>(L));
+    });
+  }
+
+  // Registers live on entrance to the region and referenced here coexist.
+  const BitVector &LiveInV = CI->Live.liveInOf(*V);
+  std::vector<Reg> LiveRefs;
+  for (Reg R : RefsPC)
+    if (LiveInV.test(R))
+      LiveRefs.push_back(R);
+  for (size_t A = 0; A != LiveRefs.size(); ++A)
+    for (size_t B = A + 1; B != LiveRefs.size(); ++B)
+      G.addEdge(LiveRefs[A], LiveRefs[B]);
+
+  //--- add_subregion_conflicts (Figure 4) ----------------------------------
+  // Live-in registers not referenced at this level conflict with every node
+  // referenced here (Figure 3's virtual register d).
+  std::vector<unsigned> PreNodes = G.aliveNodes();
+  for (Reg VK : Vars) {
+    if (RefsPC.count(VK) || !LiveInV.test(VK))
+      continue;
+    unsigned N = G.getOrCreateNode(VK);
+    for (unsigned M : PreNodes)
+      G.addEdgeNodes(N, M);
+  }
+
+  for (PdgNode *S : V->subregions()) {
+    auto GSIt = SavedGraphs.find(S);
+    assert(GSIt != SavedGraphs.end() &&
+           "subregion must be allocated before its parent");
+    const InterferenceGraph &GS = GSIt->second;
+
+    // Import each combined subregion node, merging with existing nodes that
+    // name the same virtual register.
+    std::map<unsigned, unsigned> Imported;
+    for (unsigned NS : GS.aliveNodes()) {
+      int Target = -1;
+      std::vector<Reg> Fresh;
+      for (Reg R : GS.node(NS).VRegs) {
+        int Existing = G.nodeOf(R);
+        if (Existing < 0) {
+          Fresh.push_back(R);
+          continue;
+        }
+        if (Target < 0)
+          Target = Existing;
+        else if (Target != Existing)
+          Target = static_cast<int>(G.mergeNodes(
+              static_cast<unsigned>(Target), static_cast<unsigned>(Existing)));
+      }
+      if (Target < 0) {
+        assert(!Fresh.empty() && "empty subregion node");
+        Target = static_cast<int>(G.getOrCreateNode(Fresh.front()));
+        Fresh.erase(Fresh.begin());
+      }
+      for (Reg R : Fresh)
+        G.addRegToNode(static_cast<unsigned>(Target), R);
+      Imported[NS] = static_cast<unsigned>(Target);
+    }
+    for (unsigned NS : GS.aliveNodes())
+      for (unsigned MS : GS.adjacency(NS))
+        if (GS.node(MS).Alive && MS > NS)
+          G.addEdgeNodes(Imported.at(NS), Imported.at(MS));
+
+    // Registers live across (but unreferenced in) the subregion conflict
+    // with everything allocated inside it.
+    const BitVector &LiveInS = CI->Live.liveInOf(*S);
+    for (Reg VK : Vars) {
+      if (Refs->referencedWithin(VK, S->LinBegin, S->LinEnd))
+        continue;
+      if (VK >= LiveInS.size() || !LiveInS.test(VK))
+        continue;
+      unsigned N = G.getOrCreateNode(VK);
+      for (auto &[NS, NG] : Imported)
+        G.addEdgeNodes(N, NG);
+    }
+  }
+
+  // Pieces of one split register represent the same virtual register
+  // (paper §3.1.1); merge their nodes when they do not interfere so they
+  // allocate — and later move — as a unit.
+  {
+    auto GlobalOriginsOf = [&](unsigned N) {
+      std::set<Reg> Out;
+      for (Reg R : G.node(N).VRegs)
+        if (isGlobalTo(R, V))
+          Out.insert(originOf(R));
+      return Out;
+    };
+    auto MergeOnePair = [&]() -> bool {
+      std::map<Reg, unsigned> NodeOfOrigin;
+      for (unsigned N : G.aliveNodes()) {
+        for (Reg R : G.node(N).VRegs) {
+          Reg Origin = originOf(R);
+          if (Origin == R && !SlotOf.count(Origin))
+            continue; // never split
+          if (NoMergeOrigins.count(Origin))
+            continue; // merging proved uncolorable earlier
+          auto [It, Inserted] = NodeOfOrigin.try_emplace(Origin, N);
+          if (Inserted || It->second == N)
+            continue;
+          if (G.interfere(N, It->second))
+            continue; // overlapping pieces (e.g. two loads at one instr)
+          // Keep the global-global invariant: the union may cover at most
+          // one global origin (same-origin pieces count once).
+          std::set<Reg> Globals = GlobalOriginsOf(N);
+          for (Reg O : GlobalOriginsOf(It->second))
+            Globals.insert(O);
+          if (Globals.size() > 1)
+            continue;
+          G.mergeNodes(It->second, N);
+          return true;
+        }
+      }
+      return false;
+    };
+    while (MergeOnePair()) {
+    }
+  }
+
+  if (Options.Coalesce) {
+    auto GlobalOriginCount = [&](unsigned N1, unsigned N2) {
+      std::set<Reg> Origins;
+      for (unsigned N : {N1, N2})
+        for (Reg R : G.node(N).VRegs)
+          if (isGlobalTo(R, V))
+            Origins.insert(originOf(R));
+      return Origins.size();
+    };
+    coalesceConservatively(G, PC, Options.K,
+                           [&](unsigned A, unsigned B) {
+                             return GlobalOriginCount(A, B) <= 1;
+                           });
+  }
+
+  // Classify nodes and check the single-global invariant implied by the
+  // global-global coloring rule (pieces of one origin count once: they
+  // never coexist, so sharing a color is always sound for them).
+  for (unsigned N : G.aliveNodes()) {
+    auto &Node = G.node(N);
+    std::set<Reg> GlobalOrigins;
+    for (Reg R : Node.VRegs)
+      if (isGlobalTo(R, V))
+        GlobalOrigins.insert(originOf(R));
+    Node.Global = !GlobalOrigins.empty();
+    assert(GlobalOrigins.size() <= 1 &&
+           "combined node holds two region-global virtual registers");
+  }
+  return G;
+}
+
+//===----------------------------------------------------------------------===//
+// Phase 1b: spill costs (paper Figure 5)
+//===----------------------------------------------------------------------===//
+
+void RapAllocator::calcSpillCosts(PdgNode *V, InterferenceGraph &G) {
+  std::vector<PdgNode *> Subs = V->subregions();
+  std::vector<Instr *> PC = V->parentCode();
+
+  // Positions covered by parent-level code, for counting uses and defs "in
+  // the parent region".
+  std::set<unsigned> PCPos;
+  for (const Instr *I : PC)
+    PCPos.insert(I->LinPos);
+
+  const std::set<Reg> &Spilled = SpilledIn[V];
+
+  for (unsigned N : G.aliveNodes()) {
+    auto &Node = G.node(N);
+
+    // Classify the members. Combining can put unspillable atomic spill
+    // ranges into the same node as an ordinary register; what matters is
+    // whether spilling *some* member can still relieve pressure.
+    unsigned NumSpillable = 0;
+    bool AnyProfitable = false;
+    for (Reg R : Node.VRegs) {
+      if (NoSpill.count(R) || GloballySpilled.count(R) || Spilled.count(R))
+        continue;
+      ++NumSpillable;
+      // Paper Figure 5: a register whose references all live inside one
+      // subregion spills without removing interference at this level (the
+      // rewrite is a deferred spill inside the subregion) — unprofitable
+      // but still able to make progress.
+      bool LocalToSub = false;
+      for (PdgNode *S : Subs)
+        if (Refs->allRefsWithin(R, S->LinBegin, S->LinEnd)) {
+          LocalToSub = true;
+          break;
+        }
+      AnyProfitable |= !LocalToSub;
+    }
+
+    if (NumSpillable == 0) {
+      Node.SpillCost = InfiniteCost;
+      continue;
+    }
+    if (!AnyProfitable) {
+      Node.SpillCost = LocalOrSpilledCost;
+      continue;
+    }
+
+    // Uses + defs at this level: one load per using instruction, one store
+    // per definition.
+    double Cost = 0;
+    for (Reg R : Node.VRegs) {
+      for (unsigned P : Refs->usePositions(R))
+        Cost += PCPos.count(P);
+      for (unsigned P : Refs->defPositions(R))
+        Cost += PCPos.count(P);
+    }
+
+    // Boundary loads/stores for subregions (Figure 5's Livein/Liveout
+    // increments).
+    for (PdgNode *S : Subs) {
+      const BitVector &LiveInS = CI->Live.liveInOf(*S);
+      const BitVector &LiveOutS = CI->Live.liveOutOf(*S);
+      bool In = false, Out = false;
+      for (Reg R : Node.VRegs) {
+        In |= LiveInS.test(R) && Refs->usedWithin(R, S->LinBegin, S->LinEnd);
+        Out |= LiveOutS.test(R) &&
+               Refs->definedWithin(R, S->LinBegin, S->LinEnd);
+      }
+      Cost += In;
+      Cost += Out;
+    }
+
+    unsigned Deg = G.effectiveDegree(N);
+    Node.SpillCost = Cost / (Deg == 0 ? 1 : Deg);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Phase 1c: the per-region driver (paper Figure 2)
+//===----------------------------------------------------------------------===//
+
+InterferenceGraph RapAllocator::allocRegion(PdgNode *V) {
+  InProgress.insert(V);
+  for (PdgNode *S : V->subregions())
+    allocRegion(S);
+
+  for (unsigned Round = 0; Round != MaxRoundsPerRegion; ++Round) {
+    InterferenceGraph G = buildRegionGraph(V);
+    ++Stats.GraphBuilds;
+    Stats.MaxGraphNodes = std::max(Stats.MaxGraphNodes, G.numAliveNodes());
+    calcSpillCosts(V, G);
+    ColorResult CR = colorGraph(G, Options.K);
+    if (std::getenv("RAP_DEBUG")) {
+      std::fprintf(stderr, "[rap] region R%d round %u nodes=%u spills=%zu\n",
+                   V->Id, Round, G.numAliveNodes(), CR.SpillList.size());
+      if (!CR.SpillList.empty()) {
+        std::fprintf(stderr, "%s", G.str().c_str());
+        std::fprintf(stderr, "%s", CI->Code.str().c_str());
+      }
+    }
+    if (CR.fullyColored()) {
+      SavedGraphs[V] = G.combinedByColor();
+      for (PdgNode *S : V->subregions())
+        if (!S->IsLoop)
+          SavedGraphs.erase(S);
+      ++Stats.RegionsProcessed;
+      InProgress.erase(V);
+      return G;
+    }
+    std::vector<std::pair<Reg, PdgNode *>> Queue;
+    bool SplitProgress = false;
+    for (unsigned N : CR.SpillList) {
+      if (G.node(N).SpillCost >= InfiniteCost) {
+        // Nothing in the node can spill. If it is a merged-origin unit,
+        // give up on allocating those pieces as one register and retry
+        // with them separate.
+        for (Reg R : G.node(N).VRegs) {
+          Reg Origin = originOf(R);
+          if ((Origin != R || SlotOf.count(Origin)) &&
+              NoMergeOrigins.insert(Origin).second)
+            SplitProgress = true;
+        }
+        continue;
+      }
+      for (Reg R : G.node(N).VRegs)
+        Queue.push_back({R, V});
+    }
+    if (Queue.empty() && !SplitProgress) {
+      std::fprintf(stderr,
+                   "RAP: unspillable pressure in '%s' (k=%u too small)\n",
+                   F.name().c_str(), Options.K);
+      std::abort();
+    }
+    spillQueueRun(std::move(Queue));
+  }
+  std::fprintf(stderr, "RAP: region allocation did not converge in '%s'\n",
+               F.name().c_str());
+  std::abort();
+}
+
+void RapAllocator::spillQueueRun(std::vector<std::pair<Reg, PdgNode *>> Queue) {
+  // Spill code may land inside subregions that were already allocated and
+  // combined (deferred spills and everywhere-spills). Their summaries no
+  // longer describe the edited code, so those subtrees are re-allocated
+  // bottom-up once the queue drains.
+  std::set<PdgNode *> Dirty;
+  while (!Queue.empty()) {
+    auto [V, R] = Queue.front();
+    Queue.erase(Queue.begin());
+    if (++TotalSpillActions > MaxSpillActions) {
+      std::fprintf(stderr, "RAP: spill storm in '%s'\n", F.name().c_str());
+      std::abort();
+    }
+    std::vector<std::pair<Reg, PdgNode *>> Deferred;
+    bool Changed = trySpill(V, R, Deferred);
+    if (Changed) {
+      refresh();
+      // Note: spillEverywhere and the outside-the-region fixups only insert
+      // code that references the spilled register itself, which existing
+      // summaries already contain (its ranges only shrink), so they never
+      // dirty a region. Fresh atomic temporaries do: mark the outermost
+      // completed region containing the edit (deferred spills can land
+      // several levels below regions whose summaries were already folded
+      // into an ancestor).
+      PdgNode *Top = nullptr;
+      for (PdgNode *P = R; P && !InProgress.count(P); P = P->Parent)
+        if (P->isRegion() && SavedGraphs.count(P))
+          Top = P;
+      if (Top)
+        Dirty.insert(Top);
+    }
+    for (auto &D : Deferred)
+      Queue.push_back(D);
+  }
+
+  // Keep only the outermost dirty regions; re-allocating them rebuilds
+  // everything beneath.
+  for (PdgNode *D : std::vector<PdgNode *>(Dirty.begin(), Dirty.end())) {
+    for (PdgNode *P = D->Parent; P; P = P->Parent)
+      if (Dirty.count(P)) {
+        Dirty.erase(D);
+        break;
+      }
+  }
+  for (PdgNode *D : Dirty)
+    allocRegion(D);
+}
+
+//===----------------------------------------------------------------------===//
+// Phase 1d: spill-code insertion (paper §3.1.4)
+//===----------------------------------------------------------------------===//
+
+void RapAllocator::renameInSubtree(PdgNode *S, Reg OldReg, Reg NewReg) {
+  S->forEachInstr([&](Instr *I) {
+    for (Reg &R : I->Src)
+      if (R == OldReg)
+        R = NewReg;
+    if (I->hasDef() && I->Dst == OldReg)
+      I->Dst = NewReg;
+  });
+  // Keep the saved graphs of nested (loop) regions and still-live subregion
+  // graphs naming the new register (paper: "the virtual register is then
+  // renamed", §3.1.4 — the loop graphs feed spill-code movement).
+  S->forEachNode([&](const PdgNode *N) {
+    auto It = SavedGraphs.find(N);
+    if (It != SavedGraphs.end())
+      It->second.renameReg(OldReg, NewReg);
+  });
+}
+
+bool RapAllocator::trySpill(Reg V, PdgNode *R,
+                            std::vector<std::pair<Reg, PdgNode *>> &Deferred) {
+  assert(R->isRegion() && "spills target regions");
+  if (NoSpill.count(V))
+    return false; // an atomic spill range cannot be spilled again
+  if (!Refs->referencedWithin(V, R->LinBegin, R->LinEnd) ||
+      SpilledIn[R].count(V)) {
+    // Live across the region (or already locally spilled) with the pressure
+    // still unresolved: interrupt the live range at its references instead.
+    return spillEverywhere(V);
+  }
+
+  std::vector<Instr *> PC = R->parentCode();
+  auto ParkIt = ParamStores.find(V);
+  Instr *Park = ParkIt == ParamStores.end() ? nullptr : ParkIt->second;
+  std::vector<Instr *> PCUses, PCDefs;
+  for (Instr *I : PC) {
+    if (I != Park &&
+        std::find(I->Src.begin(), I->Src.end(), V) != I->Src.end())
+      PCUses.push_back(I);
+    if (I->hasDef() && I->Dst == V)
+      PCDefs.push_back(I);
+  }
+
+  struct SubAction {
+    PdgNode *S;
+    bool Load;
+    bool Store;
+  };
+  std::vector<SubAction> SubActions;
+  for (PdgNode *S : R->subregions()) {
+    if (!Refs->referencedWithin(V, S->LinBegin, S->LinEnd))
+      continue;
+    bool Load = CI->Live.liveInOf(*S).test(V);
+    bool Store = CI->Live.liveOutOf(*S).test(V) &&
+                 Refs->definedWithin(V, S->LinBegin, S->LinEnd);
+    SubActions.push_back(SubAction{S, Load, Store});
+  }
+
+  // The outside-the-region fixup (paper §3.1.4): definitions outside R
+  // whose value flows into R must store it to the slot, uses outside R
+  // reached by definitions inside R must reload it, and definitions
+  // reaching those reloaded uses must store as well (the paper's
+  // recursion, collapsed to its one-step fixpoint).
+  DataDependence DD(CI->Code, CI->Graph, F.numVRegs());
+  auto InsideR = [&](unsigned Pos) {
+    return Pos >= R->LinBegin && Pos < R->LinEnd;
+  };
+  std::set<unsigned> LoadedUses;  // positions outside R
+  for (const FlowDep &D : DD.flowDeps())
+    if (D.R == V && InsideR(D.DefPos) && !InsideR(D.UsePos))
+      LoadedUses.insert(D.UsePos);
+  std::set<unsigned> StoredDefs; // positions outside R
+  for (const FlowDep &D : DD.flowDeps()) {
+    if (D.R != V || InsideR(D.DefPos))
+      continue;
+    if (InsideR(D.UsePos) || LoadedUses.count(D.UsePos))
+      StoredDefs.insert(D.DefPos);
+  }
+  bool NeedParamStore =
+      V < F.numParams() && !ParamStoreDone.count(V);
+
+  bool AnyCode = !PCUses.empty() || !PCDefs.empty() || !LoadedUses.empty() ||
+                 !StoredDefs.empty();
+  for (const SubAction &A : SubActions)
+    AnyCode |= A.Load || A.Store;
+
+  if (!AnyCode) {
+    // Pure rename: the register's live ranges are confined to subregions
+    // with no value traffic across their boundaries. Spill inside the
+    // owning subregions instead so the spill makes progress. With no
+    // subregions either (e.g. only the park store remains), fall through to
+    // the everywhere-spill so the register is at least reclassified as
+    // fully spilled.
+    if (SubActions.empty())
+      return spillEverywhere(V);
+    for (const SubAction &A : SubActions)
+      Deferred.push_back({V, A.S});
+    return false;
+  }
+
+  SpilledIn[R].insert(V);
+  ++Stats.SpilledVRegs;
+  int Slot = slotOf(V);
+  if (std::getenv("RAP_DEBUG"))
+    std::fprintf(stderr,
+                 "[spill] %%%u at R%d (pcuses=%zu pcdefs=%zu subs=%zu "
+                 "loadedU=%zu storedD=%zu)\n",
+                 V, R->Id, PCUses.size(), PCDefs.size(), SubActions.size(),
+                 LoadedUses.size(), StoredDefs.size());
+  CodeEditor Editor(F);
+
+  // Parameter values arrive in a register; park them in the slot once.
+  if (NeedParamStore) {
+    ParamStoreDone.insert(V);
+    Instr *St = F.createInstr(Opcode::StSpill);
+    St->Slot = Slot;
+    St->Src = {V};
+    Editor.insertAtRegionEntry(F.root(), St);
+    ParamStores[V] = St;
+  }
+
+  // Parent-level references go through fresh atomic live ranges...
+  for (Instr *User : PCUses) {
+    Reg T = F.newVReg();
+    NoSpill.insert(T);
+    OriginOf[T] = originOf(V);
+    Instr *Ld = F.createInstr(Opcode::LdSpill);
+    Ld->Dst = T;
+    Ld->Slot = Slot;
+    Editor.insertBefore(User, Ld);
+    for (Reg &Op : User->Src)
+      if (Op == V)
+        Op = T;
+  }
+  for (Instr *Def : PCDefs) {
+    Reg D = F.newVReg();
+    NoSpill.insert(D);
+    OriginOf[D] = originOf(V);
+    Def->Dst = D;
+    Instr *St = F.createInstr(Opcode::StSpill);
+    St->Slot = Slot;
+    St->Src = {D};
+    Editor.insertAfter(Def, St);
+  }
+
+  // ...each referencing subregion loads the value on entry, stores escaping
+  // definitions on exit, and renames the register so it becomes local
+  // (paper §3.1.4)...
+  for (const SubAction &A : SubActions) {
+    Reg VS = F.newVReg();
+    OriginOf[VS] = originOf(V);
+    if (A.Load) {
+      Instr *Ld = F.createInstr(Opcode::LdSpill);
+      Ld->Dst = VS;
+      Ld->Slot = Slot;
+      Editor.insertAtRegionEntry(A.S, Ld);
+    }
+    if (A.Store) {
+      Instr *St = F.createInstr(Opcode::StSpill);
+      St->Slot = Slot;
+      St->Src = {VS};
+      Editor.insertAtRegionExit(A.S, St);
+    }
+    renameInSubtree(A.S, V, VS);
+  }
+
+  // ...and the outside world synchronizes through the slot.
+  for (unsigned Pos : StoredDefs) {
+    Instr *Def = CI->Code.Instrs[Pos];
+    assert(Def->Dst == V && "stale reaching-definition information");
+    Instr *St = F.createInstr(Opcode::StSpill);
+    St->Slot = Slot;
+    St->Src = {V};
+    Editor.insertAfter(Def, St);
+  }
+  for (unsigned Pos : LoadedUses) {
+    Instr *User = CI->Code.Instrs[Pos];
+    Instr *Ld = F.createInstr(Opcode::LdSpill);
+    Ld->Dst = V;
+    Ld->Slot = Slot;
+    Editor.insertBefore(User, Ld);
+  }
+  return true;
+}
+
+bool RapAllocator::spillEverywhere(Reg V) {
+  if (GloballySpilled.count(V))
+    return false;
+  GloballySpilled.insert(V);
+  ++Stats.SpilledVRegs;
+  int Slot = slotOf(V);
+  if (std::getenv("RAP_DEBUG"))
+    std::fprintf(stderr, "[spill] %%%u everywhere (uses=%zu defs=%zu)\n", V,
+                 Refs->usePositions(V).size(), Refs->defPositions(V).size());
+  CodeEditor Editor(F);
+
+  if (V < F.numParams() && !ParamStoreDone.count(V)) {
+    ParamStoreDone.insert(V);
+    Instr *St = F.createInstr(Opcode::StSpill);
+    St->Slot = Slot;
+    St->Src = {V};
+    Editor.insertAtRegionEntry(F.root(), St);
+    ParamStores[V] = St;
+  }
+  Instr *Park = ParamStores.count(V) ? ParamStores[V] : nullptr;
+
+  // Reload the value just before every use and park it just after every
+  // definition. References inside already-allocated subregions keep the
+  // same register name, so their saved interference summaries stay valid
+  // (the ranges only shrink).
+  for (unsigned Pos : Refs->usePositions(V)) {
+    Instr *User = CI->Code.Instrs[Pos];
+    if (User == Park)
+      continue;
+    Instr *Ld = F.createInstr(Opcode::LdSpill);
+    Ld->Dst = V;
+    Ld->Slot = Slot;
+    Editor.insertBefore(User, Ld);
+  }
+  for (unsigned Pos : Refs->defPositions(V)) {
+    Instr *Def = CI->Code.Instrs[Pos];
+    Instr *St = F.createInstr(Opcode::StSpill);
+    St->Slot = Slot;
+    St->Src = {V};
+    Editor.insertAfter(Def, St);
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// The three-phase driver
+//===----------------------------------------------------------------------===//
+
+AllocStats RapAllocator::run() {
+  InterferenceGraph Final = allocRegion(F.root());
+
+  if (Options.SpillMovement) {
+    refresh();
+    MovementResult MR = moveSpillCodeOutOfLoops(F, Final, SavedGraphs);
+    Stats.HoistedLoads = MR.HoistedLoads;
+    Stats.SunkStores = MR.SunkStores;
+  }
+
+  Stats.CopiesDeleted = rewriteToPhysical(F, Final, Options.K);
+
+  if (Options.Peephole) {
+    PeepholeResult PR = peepholeSpillCleanup(F);
+    Stats.PeepholeRemovedLoads = PR.RemovedLoads;
+    Stats.PeepholeRemovedStores = PR.RemovedStores;
+  }
+  if (Options.GlobalCleanup) {
+    GlobalCleanupResult GR = globalSpillCleanup(F);
+    Stats.CleanupRemovedLoads = GR.RemovedLoads + GR.LoadsToCopies;
+    Stats.CleanupRemovedStores = GR.RemovedStores;
+  }
+  return Stats;
+}
+
+AllocStats rap::allocateRap(IlocFunction &F, const AllocOptions &Options) {
+  assert(!F.isAllocated() && "function already allocated");
+  assert(Options.K >= 3 && "need at least 3 registers for a load/store ISA");
+  return RapAllocator(F, Options).run();
+}

@@ -1,0 +1,152 @@
+//===- support/BitVector.h - Dense dynamic bitset ---------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense, dynamically sized bitset used for dataflow sets (liveness,
+/// reaching definitions) where elements are small integer ids such as
+/// virtual-register or instruction numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_SUPPORT_BITVECTOR_H
+#define RAP_SUPPORT_BITVECTOR_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rap {
+
+/// A fixed-universe bitset over ids [0, size()).
+///
+/// All binary operations require both operands to have the same universe
+/// size; this is asserted rather than resized silently so that dataflow code
+/// cannot accidentally mix sets from different functions.
+class BitVector {
+public:
+  BitVector() = default;
+
+  /// Creates a set over the universe [0, NumBits), initially empty.
+  explicit BitVector(unsigned NumBits)
+      : NumBits(NumBits), Words((NumBits + 63) / 64, 0) {}
+
+  unsigned size() const { return NumBits; }
+
+  bool test(unsigned Idx) const {
+    assert(Idx < NumBits && "BitVector index out of range");
+    return (Words[Idx / 64] >> (Idx % 64)) & 1;
+  }
+
+  void set(unsigned Idx) {
+    assert(Idx < NumBits && "BitVector index out of range");
+    Words[Idx / 64] |= uint64_t(1) << (Idx % 64);
+  }
+
+  void reset(unsigned Idx) {
+    assert(Idx < NumBits && "BitVector index out of range");
+    Words[Idx / 64] &= ~(uint64_t(1) << (Idx % 64));
+  }
+
+  void clear() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
+  /// Returns true if no bit is set.
+  bool empty() const {
+    for (uint64_t W : Words)
+      if (W != 0)
+        return false;
+    return true;
+  }
+
+  /// Returns the number of set bits.
+  unsigned count() const {
+    unsigned N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<unsigned>(__builtin_popcountll(W));
+    return N;
+  }
+
+  /// Set union; returns true if this set changed.
+  bool unionWith(const BitVector &Other) {
+    assert(NumBits == Other.NumBits && "universe size mismatch");
+    bool Changed = false;
+    for (size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t Old = Words[I];
+      Words[I] |= Other.Words[I];
+      Changed |= Words[I] != Old;
+    }
+    return Changed;
+  }
+
+  /// Set intersection; returns true if this set changed.
+  bool intersectWith(const BitVector &Other) {
+    assert(NumBits == Other.NumBits && "universe size mismatch");
+    bool Changed = false;
+    for (size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t Old = Words[I];
+      Words[I] &= Other.Words[I];
+      Changed |= Words[I] != Old;
+    }
+    return Changed;
+  }
+
+  /// Set difference (this \ Other); returns true if this set changed.
+  bool subtract(const BitVector &Other) {
+    assert(NumBits == Other.NumBits && "universe size mismatch");
+    bool Changed = false;
+    for (size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t Old = Words[I];
+      Words[I] &= ~Other.Words[I];
+      Changed |= Words[I] != Old;
+    }
+    return Changed;
+  }
+
+  /// Returns true if this set and \p Other share at least one element.
+  bool intersects(const BitVector &Other) const {
+    assert(NumBits == Other.NumBits && "universe size mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      if (Words[I] & Other.Words[I])
+        return true;
+    return false;
+  }
+
+  bool operator==(const BitVector &Other) const {
+    return NumBits == Other.NumBits && Words == Other.Words;
+  }
+  bool operator!=(const BitVector &Other) const { return !(*this == Other); }
+
+  /// Calls \p Fn(idx) for every set bit, in increasing order.
+  template <typename FnT> void forEach(FnT Fn) const {
+    for (size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t W = Words[I];
+      while (W != 0) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(W));
+        Fn(static_cast<unsigned>(I * 64 + Bit));
+        W &= W - 1;
+      }
+    }
+  }
+
+  /// Collects the set bits into a vector, in increasing order.
+  std::vector<unsigned> toVector() const {
+    std::vector<unsigned> Out;
+    Out.reserve(count());
+    forEach([&](unsigned Idx) { Out.push_back(Idx); });
+    return Out;
+  }
+
+private:
+  unsigned NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace rap
+
+#endif // RAP_SUPPORT_BITVECTOR_H

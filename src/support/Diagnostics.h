@@ -1,0 +1,61 @@
+//===- support/Diagnostics.h - Source diagnostics ---------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collects front-end diagnostics (errors with source positions) so that the
+/// parser and semantic checker can report multiple problems per run and tests
+/// can assert on them without parsing stderr.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_SUPPORT_DIAGNOSTICS_H
+#define RAP_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace rap {
+
+/// A position in MiniC source text; both components are 1-based.
+struct SourceLoc {
+  int Line = 0;
+  int Col = 0;
+};
+
+/// One reported problem.
+struct Diagnostic {
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Accumulates diagnostics for one compilation.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return !Diags.empty(); }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics as "line:col: message" lines, for tool output
+  /// and for test assertions.
+  std::string str() const {
+    std::string Out;
+    for (const Diagnostic &D : Diags) {
+      Out += std::to_string(D.Loc.Line) + ":" + std::to_string(D.Loc.Col) +
+             ": error: " + D.Message + "\n";
+    }
+    return Out;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace rap
+
+#endif // RAP_SUPPORT_DIAGNOSTICS_H

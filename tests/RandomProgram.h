@@ -1,0 +1,191 @@
+//===- tests/RandomProgram.h - Seeded MiniC program generator ---*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random — but always terminating, in-bounds, and
+/// deterministic — MiniC programs for differential testing of the register
+/// allocators (DESIGN.md oracle #2). Programs use integer arithmetic only so
+/// results compare exactly; every variable is initialized at declaration;
+/// loops are counted `for` loops whose induction variable is never
+/// reassigned; array indices are loop variables or in-range literals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_TESTS_RANDOMPROGRAM_H
+#define RAP_TESTS_RANDOMPROGRAM_H
+
+#include <random>
+#include <string>
+#include <vector>
+
+namespace rap::test {
+
+class RandomProgramBuilder {
+public:
+  explicit RandomProgramBuilder(unsigned Seed) : Rng(Seed) {}
+
+  std::string build() {
+    Out.clear();
+    // A couple of global arrays indexed by loop variables.
+    Out += "int ga[12];\nint gb[12];\nint gs;\n";
+    emitHelper();
+    Out += "int main() {\n";
+    Indent = 1;
+    // A pool of initialized scalars; more than any k so pressure is real.
+    unsigned NumVars = 6 + Rng() % 6;
+    for (unsigned I = 0; I != NumVars; ++I) {
+      Vars.push_back("v" + std::to_string(I));
+      line("int v" + std::to_string(I) + " = " +
+           std::to_string(static_cast<int>(Rng() % 200) - 100) + ";");
+    }
+    line("gs = 0;");
+    unsigned NumStmts = 4 + Rng() % 8;
+    for (unsigned I = 0; I != NumStmts; ++I)
+      emitStmt(3);
+    // Checksum over everything observable.
+    std::string Sum = "gs";
+    for (const std::string &V : Vars)
+      Sum += " + " + V;
+    line("int chk = " + Sum + ";");
+    line("for (int ci = 0; ci < 12; ci = ci + 1) {");
+    ++Indent;
+    line("chk = chk * 31 + ga[ci] + gb[ci] * 7;");
+    --Indent;
+    line("}");
+    line("return chk;");
+    Out += "}\n";
+    return Out;
+  }
+
+private:
+  void line(const std::string &S) {
+    Out += std::string(static_cast<size_t>(Indent) * 2, ' ') + S + "\n";
+  }
+
+  unsigned pick(unsigned N) { return static_cast<unsigned>(Rng() % N); }
+
+  void emitHelper() {
+    Out += "int mix(int a, int b) {\n"
+           "  int r = a * 3 - b;\n"
+           "  if (r > 100) { r = r - 77; }\n"
+           "  if (r < 0 - 100) { r = r + 55; }\n"
+           "  return r;\n"
+           "}\n";
+  }
+
+  /// A random int expression over initialized variables.
+  std::string expr(unsigned Depth) {
+    unsigned Kind = pick(Depth == 0 ? 3u : 7u);
+    switch (Kind) {
+    case 0:
+      return std::to_string(static_cast<int>(Rng() % 40) - 20);
+    case 1:
+    case 2: {
+      if (Vars.empty())
+        return std::to_string(static_cast<int>(Rng() % 10));
+      return Vars[pick(static_cast<unsigned>(Vars.size()))];
+    }
+    case 3: {
+      const char *Ops[] = {" + ", " - ", " * "};
+      return "(" + expr(Depth - 1) + Ops[pick(3)] + expr(Depth - 1) + ")";
+    }
+    case 4: {
+      // Array read with a safe index.
+      return (pick(2) ? "ga[" : "gb[") + safeIndex() + "]";
+    }
+    case 5:
+      return "mix(" + expr(Depth - 1) + ", " + expr(Depth - 1) + ")";
+    default:
+      return "(" + expr(Depth - 1) + " / " +
+             std::to_string(2 + pick(7)) + ")";
+    }
+  }
+
+  std::string cond(unsigned Depth) {
+    const char *Rel[] = {" < ", " <= ", " > ", " >= ", " == ", " != "};
+    std::string C = "(" + expr(Depth) + Rel[pick(6)] + expr(Depth) + ")";
+    if (pick(3) == 0)
+      C += (pick(2) ? " && " : " || ") + std::string("(") + expr(1) +
+           (pick(2) ? " > 0)" : " <= 5)");
+    return C;
+  }
+
+  std::string safeIndex() {
+    if (!LoopVars.empty() && pick(2))
+      return LoopVars[pick(static_cast<unsigned>(LoopVars.size()))];
+    return std::to_string(pick(12));
+  }
+
+  void emitStmt(unsigned Depth) {
+    unsigned Kind = pick(Depth == 0 ? 3u : 6u);
+    switch (Kind) {
+    case 0: { // scalar assignment
+      if (Vars.empty())
+        return;
+      line(Vars[pick(static_cast<unsigned>(Vars.size()))] + " = " + expr(2) +
+           ";");
+      return;
+    }
+    case 1: // array store
+      line((pick(2) ? "ga[" : "gb[") + safeIndex() + "] = " + expr(2) + ";");
+      return;
+    case 2: // global accumulate
+      line("gs = gs + " + expr(2) + ";");
+      return;
+    case 3: { // if / if-else
+      line("if (" + cond(1) + ") {");
+      ++Indent;
+      unsigned N = 1 + pick(3);
+      for (unsigned I = 0; I != N; ++I)
+        emitStmt(Depth - 1);
+      --Indent;
+      if (pick(2)) {
+        line("} else {");
+        ++Indent;
+        N = 1 + pick(2);
+        for (unsigned I = 0; I != N; ++I)
+          emitStmt(Depth - 1);
+        --Indent;
+      }
+      line("}");
+      return;
+    }
+    case 4: { // counted for loop (bounded, induction var protected)
+      std::string LV = "i" + std::to_string(NextLoopVar++);
+      unsigned Trip = 2 + pick(9); // <= 10, within array bounds of 12
+      line("for (int " + LV + " = 0; " + LV + " < " + std::to_string(Trip) +
+           "; " + LV + " = " + LV + " + 1) {");
+      LoopVars.push_back(LV);
+      ++Indent;
+      unsigned N = 1 + pick(3);
+      for (unsigned I = 0; I != N; ++I)
+        emitStmt(Depth - 1);
+      --Indent;
+      LoopVars.pop_back();
+      line("}");
+      return;
+    }
+    default: { // fresh scoped variable used immediately
+      std::string T = "t" + std::to_string(NextTemp++);
+      line("int " + T + " = " + expr(2) + ";");
+      line("gs = gs + " + T + " * " + std::to_string(1 + pick(5)) + ";");
+      return;
+    }
+    }
+  }
+
+  std::mt19937 Rng;
+  std::string Out;
+  int Indent = 0;
+  std::vector<std::string> Vars;
+  std::vector<std::string> LoopVars;
+  unsigned NextLoopVar = 0;
+  unsigned NextTemp = 0;
+};
+
+} // namespace rap::test
+
+#endif // RAP_TESTS_RANDOMPROGRAM_H

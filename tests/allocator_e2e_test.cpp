@@ -1,0 +1,194 @@
+//===- tests/allocator_e2e_test.cpp - Allocation correctness ---------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end allocation correctness: for a battery of programs, the result
+/// computed by GRA- and RAP-allocated code at every register-set size must
+/// equal the unallocated (infinite-register) reference run. This is the
+/// primary oracle from DESIGN.md §6.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include "gtest/gtest.h"
+
+using namespace rap;
+
+namespace {
+
+struct ProgramCase {
+  const char *Name;
+  const char *Source;
+};
+
+const ProgramCase Programs[] = {
+    {"straightline", R"(
+      int main() {
+        int a = 3; int b = 4; int c = 5; int d = 6; int e = 7;
+        int f = a * b + c * d + e;
+        int g = f - a + b * 2;
+        return f * 100 + g;
+      }
+    )"},
+    {"deep_expression", R"(
+      int main() {
+        int a = 2; int b = 3; int c = 5; int d = 7; int e = 11; int f = 13;
+        return (a*b + c*d) * (e + f) - (a + b + c + d + e + f)
+             + (a*d - b*c) * (f - e) + a*a*a;
+      }
+    )"},
+    {"branches", R"(
+      int main() {
+        int x = 10; int y = 20; int acc = 0;
+        if (x < y) { acc = acc + x; } else { acc = acc + y; }
+        if (x > 5) {
+          if (y > 15) { acc = acc * 2; } else { acc = acc * 3; }
+        }
+        if (!(x == y) && (acc > 0 || y < 0)) { acc = acc + 1; }
+        return acc;
+      }
+    )"},
+    {"loop_pressure", R"(
+      int main() {
+        int a = 1; int b = 2; int c = 3; int d = 4; int e = 5;
+        int f = 6; int g = 7; int h = 8;
+        int i = 0; int acc = 0;
+        while (i < 20) {
+          acc = acc + a*b + c*d + e*f + g*h;
+          a = a + 1; b = b + 2; c = c + 3; d = d + 1;
+          e = e + 2; f = f + 1; g = g + 1; h = h + 2;
+          i = i + 1;
+        }
+        return acc % 100000;
+      }
+    )"},
+    {"nested_loops", R"(
+      int t[25];
+      int main() {
+        int n = 5;
+        for (int i = 0; i < n; i = i + 1) {
+          for (int j = 0; j < n; j = j + 1) {
+            t[i * n + j] = i * 10 + j;
+          }
+        }
+        int sum = 0;
+        for (int i = 0; i < n; i = i + 1) {
+          int rowsum = 0;
+          for (int j = 0; j < n; j = j + 1) {
+            rowsum = rowsum + t[i * n + j];
+          }
+          sum = sum + rowsum * (i + 1);
+        }
+        return sum;
+      }
+    )"},
+    {"live_through_loop", R"(
+      int main() {
+        int keep1 = 111; int keep2 = 222; int keep3 = 333; int keep4 = 444;
+        int acc = 0;
+        int i = 0;
+        while (i < 10) {
+          int t1 = i * 2; int t2 = i * 3; int t3 = i * 5; int t4 = i * 7;
+          acc = acc + t1 * t2 + t3 * t4;
+          i = i + 1;
+        }
+        return acc + keep1 + keep2 * 2 + keep3 * 3 + keep4 * 4;
+      }
+    )"},
+    {"calls_and_recursion", R"(
+      int ack(int m, int n) {
+        if (m == 0) { return n + 1; }
+        if (n == 0) { return ack(m - 1, 1); }
+        return ack(m - 1, ack(m, n - 1));
+      }
+      int scale(int x, int k) { return x * k + 1; }
+      int main() {
+        return ack(2, 3) * 1000 + scale(ack(1, 1), 7);
+      }
+    )"},
+    {"floats_mixed", R"(
+      float acc;
+      int main() {
+        float x = 1.5; float y = 2.25;
+        acc = 0.0;
+        for (int i = 0; i < 8; i = i + 1) {
+          acc = acc + x * i - y / (i + 1);
+          x = x + 0.5;
+        }
+        return acc * 10.0;
+      }
+    )"},
+    {"global_traffic", R"(
+      int ga; int gb; int gc;
+      int bump(int v) { gc = gc + v; return gc; }
+      int main() {
+        ga = 5; gb = 7;
+        int s = 0;
+        for (int i = 0; i < 6; i = i + 1) {
+          s = s + bump(ga) - bump(gb) + i;
+        }
+        return s + ga * gb + gc;
+      }
+    )"},
+    {"early_returns", R"(
+      int classify(int v) {
+        if (v < 0) { return 0 - 1; }
+        if (v == 0) { return 0; }
+        if (v < 10) { return 1; }
+        return 2;
+      }
+      int main() {
+        int s = 0;
+        for (int i = 0 - 5; i < 15; i = i + 1) {
+          s = s * 3 + classify(i);
+        }
+        return s;
+      }
+    )"},
+};
+
+class AllocatorE2E
+    : public ::testing::TestWithParam<std::tuple<int, unsigned, int>> {};
+
+const char *allocatorName(int A) { return A == 0 ? "gra" : "rap"; }
+
+TEST_P(AllocatorE2E, MatchesReference) {
+  auto [AllocIdx, K, ProgIdx] = GetParam();
+  const ProgramCase &PC = Programs[ProgIdx];
+
+  CompileOptions RefOpts; // unallocated reference
+  RunResult Ref = compileAndRun(PC.Source, RefOpts);
+  ASSERT_TRUE(Ref.Ok) << PC.Name << ": " << Ref.Error;
+
+  CompileOptions Opts;
+  Opts.Allocator = AllocIdx == 0 ? AllocatorKind::Gra : AllocatorKind::Rap;
+  Opts.Alloc.K = K;
+  RunResult Got = compileAndRun(PC.Source, Opts);
+  ASSERT_TRUE(Got.Ok) << PC.Name << " with " << allocatorName(AllocIdx)
+                      << " k=" << K << ": " << Got.Error;
+  EXPECT_EQ(Got.ReturnValue.asInt(), Ref.ReturnValue.asInt())
+      << PC.Name << " with " << allocatorName(AllocIdx) << " k=" << K;
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<AllocatorE2E::ParamType> &Info) {
+  int A = std::get<0>(Info.param);
+  unsigned K = std::get<1>(Info.param);
+  int P = std::get<2>(Info.param);
+  return std::string(allocatorName(A)) + "_k" + std::to_string(K) + "_" +
+         Programs[P].Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrograms, AllocatorE2E,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(3u, 5u, 7u, 9u),
+                       ::testing::Range(0,
+                                        static_cast<int>(std::size(Programs)))),
+    caseName);
+
+} // namespace

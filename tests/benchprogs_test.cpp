@@ -1,0 +1,66 @@
+//===- tests/benchprogs_test.cpp - Table 1 workload correctness ------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every Table 1 program must compile, run, and produce the same checksum
+/// under GRA and RAP at every register-set size as the unallocated
+/// reference — the oracle the Table 1 harness depends on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchprogs/BenchPrograms.h"
+#include "driver/Pipeline.h"
+
+#include "gtest/gtest.h"
+
+using namespace rap;
+
+namespace {
+
+class BenchProgramsCorrect : public ::testing::TestWithParam<int> {};
+
+TEST_P(BenchProgramsCorrect, AllocatorsMatchReference) {
+  const BenchProgram &P = benchPrograms()[GetParam()];
+
+  CompileOptions RefOpts;
+  RunResult Ref = compileAndRun(P.Source, RefOpts);
+  ASSERT_TRUE(Ref.Ok) << P.Name << ": " << Ref.Error;
+  ASSERT_NE(Ref.ReturnValue.asInt(), 0)
+      << P.Name << ": checksum should be nonzero";
+
+  for (AllocatorKind Kind : {AllocatorKind::Gra, AllocatorKind::Rap}) {
+    for (unsigned K : {3u, 5u, 7u, 9u}) {
+      CompileOptions Opts;
+      Opts.Allocator = Kind;
+      Opts.Alloc.K = K;
+      RunResult Got = compileAndRun(P.Source, Opts);
+      const char *Name = Kind == AllocatorKind::Gra ? "gra" : "rap";
+      ASSERT_TRUE(Got.Ok)
+          << P.Name << " " << Name << " k=" << K << ": " << Got.Error;
+      EXPECT_EQ(Got.ReturnValue.asInt(), Ref.ReturnValue.asInt())
+          << P.Name << " " << Name << " k=" << K;
+    }
+  }
+}
+
+TEST(BenchProgramsInventory, ThirtySevenRoutines) {
+  // The paper's Table 1 has 37 rows; keep the reproduction at parity.
+  EXPECT_EQ(benchPrograms().size(), 37u);
+  EXPECT_NE(findBenchProgram("loop7"), nullptr);
+  EXPECT_NE(findBenchProgram("queens"), nullptr);
+  EXPECT_EQ(findBenchProgram("bogus"), nullptr);
+}
+
+std::string benchName(const ::testing::TestParamInfo<int> &Info) {
+  return benchPrograms()[Info.param].Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, BenchProgramsCorrect,
+    ::testing::Range(0, static_cast<int>(benchPrograms().size())),
+    benchName);
+
+} // namespace

@@ -1,0 +1,156 @@
+//===- tests/coalesce_test.cpp - Conservative coalescing ----------------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "driver/Pipeline.h"
+#include "interp/Interpreter.h"
+#include "regalloc/Coalesce.h"
+
+#include "gtest/gtest.h"
+
+using namespace rap;
+using rap::test::compile;
+
+namespace {
+
+TEST(Coalesce, MergesCopyPairWithoutInterference) {
+  InterferenceGraph G;
+  G.getOrCreateNode(1);
+  G.getOrCreateNode(2);
+  IlocFunction F("t");
+  Instr *Mv = F.createInstr(Opcode::Mv);
+  Mv->Dst = 2;
+  Mv->Src = {1};
+  std::vector<Instr *> Code = {Mv};
+  EXPECT_EQ(coalesceConservatively(G, Code, 3), 1u);
+  EXPECT_EQ(G.nodeOf(1), G.nodeOf(2));
+}
+
+TEST(Coalesce, InterferingPairStaysSplit) {
+  InterferenceGraph G;
+  G.getOrCreateNode(1);
+  G.getOrCreateNode(2);
+  G.addEdge(1, 2);
+  IlocFunction F("t");
+  Instr *Mv = F.createInstr(Opcode::Mv);
+  Mv->Dst = 2;
+  Mv->Src = {1};
+  std::vector<Instr *> Code = {Mv};
+  EXPECT_EQ(coalesceConservatively(G, Code, 3), 0u);
+  EXPECT_NE(G.nodeOf(1), G.nodeOf(2));
+}
+
+TEST(Coalesce, BriggsCriterionBlocksRiskyMerge) {
+  // dst and src each interfere with distinct high-degree neighbors; the
+  // union would have K significant neighbors -> unsafe at K=2.
+  InterferenceGraph G;
+  for (Reg R = 1; R <= 6; ++R)
+    G.getOrCreateNode(R);
+  // High-degree neighbors 3 and 4 (give each two more edges).
+  G.addEdge(3, 5);
+  G.addEdge(3, 6);
+  G.addEdge(4, 5);
+  G.addEdge(4, 6);
+  G.addEdge(1, 3);
+  G.addEdge(2, 4);
+  IlocFunction F("t");
+  Instr *Mv = F.createInstr(Opcode::Mv);
+  Mv->Dst = 2;
+  Mv->Src = {1};
+  std::vector<Instr *> Code = {Mv};
+  EXPECT_EQ(coalesceConservatively(G, Code, 2), 0u)
+      << "two significant neighbors at K=2 fail the Briggs test";
+  EXPECT_EQ(coalesceConservatively(G, Code, 3), 1u)
+      << "at K=3 the same union is safe";
+}
+
+TEST(Coalesce, GuardCanVeto) {
+  InterferenceGraph G;
+  G.getOrCreateNode(1);
+  G.getOrCreateNode(2);
+  IlocFunction F("t");
+  Instr *Mv = F.createInstr(Opcode::Mv);
+  Mv->Dst = 2;
+  Mv->Src = {1};
+  std::vector<Instr *> Code = {Mv};
+  EXPECT_EQ(coalesceConservatively(G, Code, 3,
+                                   [](unsigned, unsigned) { return false; }),
+            0u);
+}
+
+TEST(Coalesce, RemovesExecutedCopiesEndToEnd) {
+  const char *Src = R"(
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 30; i = i + 1) {
+        int t = s + i;
+        s = t;          /* copy chain the coalescer should erase */
+      }
+      return s;
+    }
+  )";
+  CompileOptions Ref;
+  RunResult RefRun = compileAndRun(Src, Ref);
+  ASSERT_TRUE(RefRun.Ok);
+
+  uint64_t Copies[2];
+  for (int WithCoalesce = 0; WithCoalesce <= 1; ++WithCoalesce) {
+    for (AllocatorKind Kind : {AllocatorKind::Gra, AllocatorKind::Rap}) {
+      CompileOptions O;
+      O.Allocator = Kind;
+      O.Alloc.K = 5;
+      O.Alloc.Coalesce = WithCoalesce;
+      RunResult R = compileAndRun(Src, O);
+      ASSERT_TRUE(R.Ok) << R.Error;
+      ASSERT_EQ(R.ReturnValue.asInt(), RefRun.ReturnValue.asInt());
+      if (Kind == AllocatorKind::Gra)
+        Copies[WithCoalesce] = R.Stats.Copies;
+    }
+  }
+  EXPECT_LE(Copies[1], Copies[0])
+      << "coalescing never increases executed copies";
+}
+
+TEST(Coalesce, CorrectAcrossBenchmarkKindsAndK) {
+  // A pressure-heavy program where coalescing decisions interact with
+  // spilling; both allocators must stay correct with it enabled.
+  const char *Src = R"(
+    int a[16];
+    int f(int x, int y) {
+      int u = x; int v = y;
+      int w = u * v + u - v;
+      return w;
+    }
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 16; i = i + 1) { a[i] = i * 3 - 7; }
+      for (int i = 0; i < 15; i = i + 1) {
+        int p = a[i];
+        int q = a[i + 1];
+        s = s + f(p, q);
+      }
+      return s;
+    }
+  )";
+  CompileOptions Ref;
+  RunResult RefRun = compileAndRun(Src, Ref);
+  ASSERT_TRUE(RefRun.Ok);
+  for (AllocatorKind Kind : {AllocatorKind::Gra, AllocatorKind::Rap}) {
+    for (unsigned K : {3u, 5u, 9u}) {
+      CompileOptions O;
+      O.Allocator = Kind;
+      O.Alloc.K = K;
+      O.Alloc.Coalesce = true;
+      RunResult R = compileAndRun(Src, O);
+      ASSERT_TRUE(R.Ok) << R.Error;
+      EXPECT_EQ(R.ReturnValue.asInt(), RefRun.ReturnValue.asInt())
+          << (Kind == AllocatorKind::Gra ? "gra" : "rap") << " k=" << K;
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,219 @@
+//===- tests/interp_test.cpp - Interpreter unit tests -------------------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "interp/Interpreter.h"
+
+#include "gtest/gtest.h"
+
+using namespace rap;
+using rap::test::compile;
+
+namespace {
+
+RunResult run(const std::string &Src) {
+  auto Prog = compile(Src);
+  if (!Prog) {
+    RunResult R;
+    R.Error = "compile failed";
+    return R;
+  }
+  Interpreter I(*Prog);
+  return I.run();
+}
+
+TEST(Interp, IntegerArithmetic) {
+  RunResult R = run("int main() { return (7 + 3) * 2 - 5 / 2 - 9 % 4; }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValue.asInt(), 20 - 2 - 1);
+}
+
+TEST(Interp, TruncatingDivisionMatchesC) {
+  RunResult R = run("int main() { return (-7) / 2 * 100 + (-7) % 2; }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValue.asInt(), -3 * 100 + -1) << "C semantics";
+}
+
+TEST(Interp, DivisionByZeroIsRuntimeError) {
+  RunResult R = run("int main() { int z = 0; return 1 / z; }");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("division by zero"), std::string::npos);
+}
+
+TEST(Interp, ModuloByZeroIsRuntimeError) {
+  RunResult R = run("int main() { int z = 0; return 1 % z; }");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("modulo by zero"), std::string::npos);
+}
+
+TEST(Interp, FloatArithmeticAndConversion) {
+  RunResult R = run(R"(
+    int main() {
+      float x = 2.5;
+      float y = x * 4.0 - 1.0 / 2.0;  /* 9.5 */
+      return y * 2.0;                 /* f2i(19.0) */
+    }
+  )");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValue.asInt(), 19);
+}
+
+TEST(Interp, ComparisonChainsAndLogic) {
+  RunResult R = run(R"(
+    int main() {
+      int a = 3; int b = 5;
+      int r = 0;
+      if (a < b) { r = r + 1; }
+      if (a <= 3) { r = r + 10; }
+      if (b > 4 && a != b) { r = r + 100; }
+      if (a == 4 || b >= 5) { r = r + 1000; }
+      if (!(a == b)) { r = r + 10000; }
+      return r;
+    }
+  )");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValue.asInt(), 11111);
+}
+
+TEST(Interp, ArrayOutOfBoundsLoadCaught) {
+  RunResult R = run(R"(
+    int a[4];
+    int main() { int i = 9; return a[i]; }
+  )");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("out of bounds"), std::string::npos);
+}
+
+TEST(Interp, ArrayNegativeIndexCaught) {
+  RunResult R = run(R"(
+    int a[4];
+    int main() { int i = -1; a[i] = 3; return 0; }
+  )");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("out of bounds"), std::string::npos);
+}
+
+TEST(Interp, AdjacentArraysDoNotBleed) {
+  // a[4] would land in b's storage if bounds were per-memory instead of
+  // per-array.
+  RunResult R = run(R"(
+    int a[4];
+    int b[4];
+    int main() { int i = 4; a[i] = 77; return b[0]; }
+  )");
+  EXPECT_FALSE(R.Ok) << "strict per-array bounds";
+}
+
+TEST(Interp, FuelLimitStopsInfiniteLoop) {
+  auto Prog = compile("int main() { while (1 == 1) { } return 0; }");
+  ASSERT_NE(Prog, nullptr);
+  Interpreter I(*Prog);
+  RunResult R = I.run("main", /*Fuel=*/10000);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("fuel"), std::string::npos);
+}
+
+TEST(Interp, CountersMatchHandComputation) {
+  // 4 iterations x (1 store + 1 load) on the array + known overhead.
+  RunResult R = run(R"(
+    int a[4];
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 4; i = i + 1) {
+        a[i] = i;
+        s = s + a[i];
+      }
+      return s;
+    }
+  )");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.ReturnValue.asInt(), 6);
+  EXPECT_EQ(R.Stats.Stores, 4u);
+  EXPECT_EQ(R.Stats.Loads, 4u);
+  EXPECT_EQ(R.Stats.SpillLoads, 0u) << "unallocated code has no spills";
+  EXPECT_GT(R.Stats.Cycles, 8u);
+}
+
+TEST(Interp, RecursionDepthTracked) {
+  RunResult R = run(R"(
+    int down(int n) {
+      if (n == 0) { return 0; }
+      return down(n - 1) + 1;
+    }
+    int main() { return down(40); }
+  )");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValue.asInt(), 40);
+  EXPECT_EQ(R.Stats.Calls, 41u);
+  EXPECT_GE(R.Stats.MaxCallDepth, 41u);
+}
+
+TEST(Interp, FrameLocalityOfLocalsAcrossCalls) {
+  // Each activation gets its own register window: the callee cannot
+  // clobber the caller's locals.
+  RunResult R = run(R"(
+    int clobber(int x) {
+      int a = 999; int b = 888; int c = 777;
+      return a + b + c + x;
+    }
+    int main() {
+      int a = 1; int b = 2; int c = 3;
+      int r = clobber(5);
+      return a * 100 + b * 10 + c + r % 10;
+    }
+  )");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.ReturnValue.asInt(), 123 + (999 + 888 + 777 + 5) % 10);
+}
+
+TEST(Interp, GlobalsSharedAcrossCalls) {
+  RunResult R = run(R"(
+    int g;
+    void bump() { g = g + 1; }
+    int main() {
+      g = 0;
+      bump(); bump(); bump();
+      return g;
+    }
+  )");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.ReturnValue.asInt(), 3);
+}
+
+TEST(Interp, VoidFunctionFallsOffEnd) {
+  RunResult R = run(R"(
+    int g;
+    void set(int v) { g = v; }
+    int main() { set(42); return g; }
+  )");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.ReturnValue.asInt(), 42);
+}
+
+TEST(Interp, MissingEntryReported) {
+  auto Prog = compile("int notmain() { return 1; }");
+  ASSERT_NE(Prog, nullptr);
+  Interpreter I(*Prog);
+  RunResult R = I.run();
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("not found"), std::string::npos);
+}
+
+TEST(Interp, UnaryOperators) {
+  RunResult R = run(R"(
+    int main() {
+      int a = 5;
+      float f = 2.5;
+      int notted = !0 * 10 + !7;
+      return -a + notted + (0 - f) * 2.0;
+    }
+  )");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValue.asInt(), -5 + 10 + 0 - 5);
+}
+
+} // namespace

@@ -1,0 +1,136 @@
+//===- tests/lexer_test.cpp - Lexer unit tests -------------------------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "gtest/gtest.h"
+
+using namespace rap;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Src, bool ExpectErrors = false) {
+  DiagnosticEngine Diags;
+  Lexer L(Src, Diags);
+  std::vector<Token> Toks = L.lexAll();
+  EXPECT_EQ(Diags.hasErrors(), ExpectErrors) << Diags.str();
+  return Toks;
+}
+
+std::vector<TokenKind> kinds(const std::vector<Token> &Toks) {
+  std::vector<TokenKind> Out;
+  for (const Token &T : Toks)
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+TEST(Lexer, EmptyInputIsJustEof) {
+  auto Toks = lex("");
+  ASSERT_EQ(Toks.size(), 1u);
+  EXPECT_EQ(Toks[0].Kind, TokenKind::Eof);
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  auto Toks = lex("int float void if else while for return foo _bar x9");
+  std::vector<TokenKind> Want = {
+      TokenKind::KwInt,      TokenKind::KwFloat, TokenKind::KwVoid,
+      TokenKind::KwIf,       TokenKind::KwElse,  TokenKind::KwWhile,
+      TokenKind::KwFor,      TokenKind::KwReturn,
+      TokenKind::Identifier, TokenKind::Identifier, TokenKind::Identifier,
+      TokenKind::Eof};
+  EXPECT_EQ(kinds(Toks), Want);
+  EXPECT_EQ(Toks[8].Text, "foo");
+  EXPECT_EQ(Toks[9].Text, "_bar");
+  EXPECT_EQ(Toks[10].Text, "x9");
+}
+
+TEST(Lexer, IntegerAndFloatLiterals) {
+  auto Toks = lex("42 0 3.5 1e3 2.5e-2 7e+1");
+  EXPECT_EQ(Toks[0].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Toks[0].IntValue, 42);
+  EXPECT_EQ(Toks[1].IntValue, 0);
+  EXPECT_EQ(Toks[2].Kind, TokenKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(Toks[2].FloatValue, 3.5);
+  EXPECT_DOUBLE_EQ(Toks[3].FloatValue, 1000.0);
+  EXPECT_DOUBLE_EQ(Toks[4].FloatValue, 0.025);
+  EXPECT_DOUBLE_EQ(Toks[5].FloatValue, 70.0);
+}
+
+TEST(Lexer, DotWithoutDigitsStaysInteger) {
+  DiagnosticEngine Diags;
+  Lexer L("123.x", Diags);
+  auto Toks = L.lexAll();
+  EXPECT_EQ(Toks[0].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Toks[0].IntValue, 123);
+  EXPECT_TRUE(Diags.hasErrors()) << "bare '.' is not a MiniC token";
+}
+
+TEST(Lexer, OperatorsIncludingTwoCharacter) {
+  auto Toks = lex("+ - * / % = == != < <= > >= && || !");
+  std::vector<TokenKind> Want = {
+      TokenKind::Plus,    TokenKind::Minus,     TokenKind::Star,
+      TokenKind::Slash,   TokenKind::Percent,   TokenKind::Assign,
+      TokenKind::EqEq,    TokenKind::BangEq,    TokenKind::Less,
+      TokenKind::LessEq,  TokenKind::Greater,   TokenKind::GreaterEq,
+      TokenKind::AmpAmp,  TokenKind::PipePipe,  TokenKind::Bang,
+      TokenKind::Eof};
+  EXPECT_EQ(kinds(Toks), Want);
+}
+
+TEST(Lexer, LineCommentsSkipped) {
+  auto Toks = lex("a // the rest is ignored == != \n b");
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0].Text, "a");
+  EXPECT_EQ(Toks[1].Text, "b");
+}
+
+TEST(Lexer, BlockCommentsSkippedAcrossLines) {
+  auto Toks = lex("a /* x\n y \n z */ b");
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[1].Text, "b");
+}
+
+TEST(Lexer, UnterminatedBlockCommentIsError) {
+  DiagnosticEngine Diags;
+  Lexer L("a /* never closed", Diags);
+  L.lexAll();
+  ASSERT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("unterminated"), std::string::npos);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto Toks = lex("a\n  b");
+  EXPECT_EQ(Toks[0].Loc.Line, 1);
+  EXPECT_EQ(Toks[0].Loc.Col, 1);
+  EXPECT_EQ(Toks[1].Loc.Line, 2);
+  EXPECT_EQ(Toks[1].Loc.Col, 3);
+}
+
+TEST(Lexer, UnknownCharacterReported) {
+  DiagnosticEngine Diags;
+  Lexer L("a @ b", Diags);
+  L.lexAll();
+  ASSERT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("'@'"), std::string::npos);
+}
+
+TEST(Lexer, SingleAmpersandIsError) {
+  DiagnosticEngine Diags;
+  Lexer L("a & b", Diags);
+  L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, PunctuationRoundTrip) {
+  auto Toks = lex("( ) { } [ ] , ;");
+  std::vector<TokenKind> Want = {
+      TokenKind::LParen,   TokenKind::RParen, TokenKind::LBrace,
+      TokenKind::RBrace,   TokenKind::LBracket, TokenKind::RBracket,
+      TokenKind::Comma,    TokenKind::Semi,   TokenKind::Eof};
+  EXPECT_EQ(kinds(Toks), Want);
+}
+
+} // namespace

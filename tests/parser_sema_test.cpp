@@ -1,0 +1,280 @@
+//===- tests/parser_sema_test.cpp - Parser and Sema unit tests ---------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+
+#include "gtest/gtest.h"
+
+using namespace rap;
+using rap::test::diagnose;
+
+namespace {
+
+TranslationUnit parseOk(const std::string &Src) {
+  DiagnosticEngine Diags;
+  Lexer L(Src, Diags);
+  Parser P(L.lexAll(), Diags);
+  TranslationUnit TU = P.parseTranslationUnit();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return TU;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser structure
+//===----------------------------------------------------------------------===//
+
+TEST(Parser, GlobalsAndFunctions) {
+  TranslationUnit TU = parseOk(R"(
+    int g;
+    float arr[10];
+    int f(int a, float b) { return a; }
+    void main() { }
+  )");
+  ASSERT_EQ(TU.Globals.size(), 2u);
+  EXPECT_EQ(TU.Globals[0].Name, "g");
+  EXPECT_EQ(TU.Globals[0].ArraySize, -1);
+  EXPECT_EQ(TU.Globals[1].Name, "arr");
+  EXPECT_EQ(TU.Globals[1].ArraySize, 10);
+  EXPECT_EQ(TU.Globals[1].Type, TypeKind::Float);
+  ASSERT_EQ(TU.Functions.size(), 2u);
+  EXPECT_EQ(TU.Functions[0]->Name, "f");
+  ASSERT_EQ(TU.Functions[0]->Params.size(), 2u);
+  EXPECT_EQ(TU.Functions[0]->Params[1].Type, TypeKind::Float);
+  EXPECT_EQ(TU.Functions[1]->ReturnType, TypeKind::Void);
+}
+
+TEST(Parser, PrecedenceMultiplicationBindsTighter) {
+  TranslationUnit TU = parseOk("int f() { return 1 + 2 * 3; }");
+  const Stmt &Ret = *TU.Functions[0]->Body->Body[0];
+  ASSERT_EQ(Ret.Kind, StmtKind::Return);
+  const Expr &E = *Ret.Value;
+  ASSERT_EQ(E.Kind, ExprKind::Binary);
+  EXPECT_EQ(E.BinOp, BinaryOp::Add);
+  EXPECT_EQ(E.Rhs->BinOp, BinaryOp::Mul);
+}
+
+TEST(Parser, PrecedenceComparisonsAboveLogical) {
+  TranslationUnit TU = parseOk("int f() { return 1 < 2 && 3 > 4; }");
+  const Expr &E = *TU.Functions[0]->Body->Body[0]->Value;
+  EXPECT_EQ(E.BinOp, BinaryOp::LogicalAnd);
+  EXPECT_EQ(E.Lhs->BinOp, BinaryOp::Lt);
+  EXPECT_EQ(E.Rhs->BinOp, BinaryOp::Gt);
+}
+
+TEST(Parser, LeftAssociativeSubtraction) {
+  TranslationUnit TU = parseOk("int f() { return 10 - 4 - 3; }");
+  const Expr &E = *TU.Functions[0]->Body->Body[0]->Value;
+  EXPECT_EQ(E.BinOp, BinaryOp::Sub);
+  EXPECT_EQ(E.Lhs->BinOp, BinaryOp::Sub) << "(10-4)-3, not 10-(4-3)";
+}
+
+TEST(Parser, IfElseBindsToNearestIf) {
+  TranslationUnit TU = parseOk(R"(
+    int f(int x) {
+      if (x > 0)
+        if (x > 10) { return 2; }
+        else { return 1; }
+      return 0;
+    }
+  )");
+  const Stmt &Outer = *TU.Functions[0]->Body->Body[0];
+  ASSERT_EQ(Outer.Kind, StmtKind::If);
+  EXPECT_EQ(Outer.Else, nullptr) << "else belongs to the inner if";
+  ASSERT_EQ(Outer.Then->Kind, StmtKind::If);
+  EXPECT_NE(Outer.Then->Else, nullptr);
+}
+
+TEST(Parser, ForLoopPieces) {
+  TranslationUnit TU = parseOk(
+      "int f() { for (int i = 0; i < 3; i = i + 1) { } return 0; }");
+  const Stmt &For = *TU.Functions[0]->Body->Body[0];
+  ASSERT_EQ(For.Kind, StmtKind::For);
+  EXPECT_EQ(For.ForInit->Kind, StmtKind::VarDecl);
+  EXPECT_NE(For.Cond, nullptr);
+  EXPECT_EQ(For.ForStep->Kind, StmtKind::Assign);
+}
+
+TEST(Parser, ArrayAssignVersusArrayRead) {
+  TranslationUnit TU = parseOk(R"(
+    int a[4];
+    int f(int i) {
+      a[i] = a[i + 1] + 2;
+      return a[0];
+    }
+  )");
+  const Stmt &S = *TU.Functions[0]->Body->Body[0];
+  ASSERT_EQ(S.Kind, StmtKind::Assign);
+  EXPECT_NE(S.Index, nullptr);
+  EXPECT_EQ(S.Value->Kind, ExprKind::Binary);
+}
+
+TEST(Parser, CallsWithArguments) {
+  TranslationUnit TU = parseOk(R"(
+    int g(int a, int b) { return a + b; }
+    int f() { return g(1, g(2, 3)); }
+  )");
+  const Expr &E = *TU.Functions[1]->Body->Body[0]->Value;
+  ASSERT_EQ(E.Kind, ExprKind::Call);
+  ASSERT_EQ(E.Args.size(), 2u);
+  EXPECT_EQ(E.Args[1]->Kind, ExprKind::Call);
+}
+
+TEST(Parser, ReportsMissingSemicolonAndRecovers) {
+  std::string D = diagnose("int f() { int x = 1 int y = 2; return x; }");
+  EXPECT_NE(D.find("expected ';'"), std::string::npos);
+}
+
+TEST(Parser, ReportsUnbalancedParens) {
+  std::string D = diagnose("int f() { return (1 + 2; }");
+  EXPECT_NE(D.find("expected ')'"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Sema
+//===----------------------------------------------------------------------===//
+
+TEST(Sema, UndeclaredVariable) {
+  EXPECT_NE(diagnose("int f() { return zzz; }").find("undeclared"),
+            std::string::npos);
+}
+
+TEST(Sema, UndeclaredFunction) {
+  EXPECT_NE(diagnose("int f() { return nope(1); }").find("undeclared"),
+            std::string::npos);
+}
+
+TEST(Sema, ArityMismatch) {
+  std::string D = diagnose(R"(
+    int g(int a) { return a; }
+    int f() { return g(1, 2); }
+  )");
+  EXPECT_NE(D.find("2 arguments; expected 1"), std::string::npos);
+}
+
+TEST(Sema, RedefinitionInSameScope) {
+  EXPECT_NE(diagnose("int f() { int x = 1; int x = 2; return x; }")
+                .find("redefinition"),
+            std::string::npos);
+}
+
+TEST(Sema, ShadowingInNestedScopeIsFine) {
+  EXPECT_EQ(diagnose("int f() { int x = 1; { int x = 2; x = 3; } return x; }"),
+            "");
+}
+
+TEST(Sema, FloatConditionRejected) {
+  EXPECT_NE(diagnose("int f(float x) { if (x) { return 1; } return 0; }")
+                .find("condition must have int type"),
+            std::string::npos);
+}
+
+TEST(Sema, ModuloRequiresInts) {
+  EXPECT_NE(diagnose("int f(float x) { return x % 2; }")
+                .find("'%' requires int operands"),
+            std::string::npos);
+}
+
+TEST(Sema, VoidValueUseRejected) {
+  std::string D = diagnose(R"(
+    void g() { return; }
+    int f() { return g() + 1; }
+  )");
+  EXPECT_NE(D.find("void"), std::string::npos);
+}
+
+TEST(Sema, VoidCallStatementAllowed) {
+  EXPECT_EQ(diagnose(R"(
+    int c;
+    void g() { c = c + 1; }
+    int f() { g(); return c; }
+  )"),
+            "");
+}
+
+TEST(Sema, ReturnValueFromVoidRejected) {
+  EXPECT_NE(diagnose("void f() { return 1; }").find("void function"),
+            std::string::npos);
+}
+
+TEST(Sema, MissingReturnValueRejected) {
+  EXPECT_NE(diagnose("int f() { return; }").find("returns no value"),
+            std::string::npos);
+}
+
+TEST(Sema, ImplicitIntToFloatCastInserted) {
+  DiagnosticEngine Diags;
+  Lexer L("float f(int x) { return x + 1.5; }", Diags);
+  Parser P(L.lexAll(), Diags);
+  TranslationUnit TU = P.parseTranslationUnit();
+  ASSERT_TRUE(analyze(TU, Diags)) << Diags.str();
+  const Expr &E = *TU.Functions[0]->Body->Body[0]->Value;
+  ASSERT_EQ(E.Kind, ExprKind::Binary);
+  EXPECT_EQ(E.Type, TypeKind::Float);
+  EXPECT_EQ(E.Lhs->Kind, ExprKind::Cast) << "int side coerced to float";
+}
+
+TEST(Sema, ArrayUsedWithoutIndexRejected) {
+  std::string D = diagnose(R"(
+    int a[3];
+    int f() { return a; }
+  )");
+  EXPECT_NE(D.find("without an index"), std::string::npos);
+}
+
+TEST(Sema, IndexingScalarRejected) {
+  std::string D = diagnose(R"(
+    int g;
+    int f() { return g[0]; }
+  )");
+  EXPECT_NE(D.find("not a global array"), std::string::npos);
+}
+
+TEST(Sema, AssigningToArrayNameRejected) {
+  std::string D = diagnose(R"(
+    int a[3];
+    int f() { a = 1; return 0; }
+  )");
+  EXPECT_NE(D.find("cannot assign to array"), std::string::npos);
+}
+
+TEST(Sema, GlobalScalarResolved) {
+  DiagnosticEngine Diags;
+  Lexer L("int g; int f() { g = 2; return g; }", Diags);
+  Parser P(L.lexAll(), Diags);
+  TranslationUnit TU = P.parseTranslationUnit();
+  ASSERT_TRUE(analyze(TU, Diags));
+  const Stmt &Assign = *TU.Functions[0]->Body->Body[0];
+  EXPECT_TRUE(Assign.TargetIsGlobal);
+  const Expr &Ret = *TU.Functions[0]->Body->Body[1]->Value;
+  EXPECT_TRUE(Ret.ResolvedGlobal);
+}
+
+TEST(Sema, LocalShadowsGlobalScalar) {
+  DiagnosticEngine Diags;
+  Lexer L("int g; int f() { int g = 1; return g; }", Diags);
+  Parser P(L.lexAll(), Diags);
+  TranslationUnit TU = P.parseTranslationUnit();
+  ASSERT_TRUE(analyze(TU, Diags));
+  const Expr &Ret = *TU.Functions[0]->Body->Body[1]->Value;
+  EXPECT_FALSE(Ret.ResolvedGlobal);
+}
+
+TEST(Sema, DuplicateGlobalRejected) {
+  EXPECT_NE(diagnose("int g; int g;").find("redefinition"),
+            std::string::npos);
+}
+
+TEST(Sema, DuplicateFunctionRejected) {
+  EXPECT_NE(diagnose("int f() { return 1; } int f() { return 2; }")
+                .find("redefinition"),
+            std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,77 @@
+//===- tests/pipeline_smoke_test.cpp - End-to-end smoke test ---------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "interp/Interpreter.h"
+
+using namespace rap;
+using rap::test::compile;
+
+TEST(PipelineSmoke, ArithmeticAndLoops) {
+  auto Prog = compile(R"(
+    int main() {
+      int sum = 0;
+      int i = 1;
+      while (i <= 10) {
+        sum = sum + i;
+        i = i + 1;
+      }
+      return sum;
+    }
+  )");
+  ASSERT_NE(Prog, nullptr);
+  Interpreter Interp(*Prog);
+  RunResult R = Interp.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValue.asInt(), 55);
+  EXPECT_GT(R.Stats.Cycles, 0u);
+}
+
+TEST(PipelineSmoke, RecursionAndGlobals) {
+  auto Prog = compile(R"(
+    int depth;
+    int fib(int n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main() {
+      depth = fib(10);
+      return depth;
+    }
+  )");
+  ASSERT_NE(Prog, nullptr);
+  Interpreter Interp(*Prog);
+  RunResult R = Interp.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValue.asInt(), 55);
+  EXPECT_GT(R.Stats.Calls, 100u);
+}
+
+TEST(PipelineSmoke, FloatsArraysAndFor) {
+  auto Prog = compile(R"(
+    float a[10];
+    float b[10];
+    int main() {
+      for (int i = 0; i < 10; i = i + 1) {
+        a[i] = i * 1.5;
+        b[i] = 2.0;
+      }
+      float dot = 0.0;
+      for (int i = 0; i < 10; i = i + 1) {
+        dot = dot + a[i] * b[i];
+      }
+      return dot;  /* implicit f2i: 1.5 * (0+..+9) * 2 = 135 */
+    }
+  )");
+  ASSERT_NE(Prog, nullptr);
+  Interpreter Interp(*Prog);
+  RunResult R = Interp.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValue.asInt(), 135);
+  EXPECT_GT(R.Stats.Loads, 0u);
+  EXPECT_GT(R.Stats.Stores, 0u);
+}
