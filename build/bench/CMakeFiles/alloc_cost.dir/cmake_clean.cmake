@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_cost.dir/alloc_cost.cpp.o"
+  "CMakeFiles/alloc_cost.dir/alloc_cost.cpp.o.d"
+  "alloc_cost"
+  "alloc_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_region_granularity.dir/fig7_region_granularity.cpp.o"
+  "CMakeFiles/fig7_region_granularity.dir/fig7_region_granularity.cpp.o.d"
+  "fig7_region_granularity"
+  "fig7_region_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_region_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_rap_vs_gra.dir/table1_rap_vs_gra.cpp.o"
+  "CMakeFiles/table1_rap_vs_gra.dir/table1_rap_vs_gra.cpp.o.d"
+  "table1_rap_vs_gra"
+  "table1_rap_vs_gra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_rap_vs_gra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdg_viewer.dir/pdg_viewer.cpp.o"
+  "CMakeFiles/pdg_viewer.dir/pdg_viewer.cpp.o.d"
+  "pdg_viewer"
+  "pdg_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdg_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchprogs/BenchPrograms.cpp" "src/benchprogs/CMakeFiles/rap_benchprogs.dir/BenchPrograms.cpp.o" "gcc" "src/benchprogs/CMakeFiles/rap_benchprogs.dir/BenchPrograms.cpp.o.d"
+  "/root/repo/src/benchprogs/BenchProgramsLivermore.cpp" "src/benchprogs/CMakeFiles/rap_benchprogs.dir/BenchProgramsLivermore.cpp.o" "gcc" "src/benchprogs/CMakeFiles/rap_benchprogs.dir/BenchProgramsLivermore.cpp.o.d"
+  "/root/repo/src/benchprogs/BenchProgramsMisc.cpp" "src/benchprogs/CMakeFiles/rap_benchprogs.dir/BenchProgramsMisc.cpp.o" "gcc" "src/benchprogs/CMakeFiles/rap_benchprogs.dir/BenchProgramsMisc.cpp.o.d"
+  "/root/repo/src/benchprogs/BenchProgramsStanford.cpp" "src/benchprogs/CMakeFiles/rap_benchprogs.dir/BenchProgramsStanford.cpp.o" "gcc" "src/benchprogs/CMakeFiles/rap_benchprogs.dir/BenchProgramsStanford.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

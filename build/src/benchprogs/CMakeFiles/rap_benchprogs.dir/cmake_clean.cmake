@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_benchprogs.dir/BenchPrograms.cpp.o"
+  "CMakeFiles/rap_benchprogs.dir/BenchPrograms.cpp.o.d"
+  "CMakeFiles/rap_benchprogs.dir/BenchProgramsLivermore.cpp.o"
+  "CMakeFiles/rap_benchprogs.dir/BenchProgramsLivermore.cpp.o.d"
+  "CMakeFiles/rap_benchprogs.dir/BenchProgramsMisc.cpp.o"
+  "CMakeFiles/rap_benchprogs.dir/BenchProgramsMisc.cpp.o.d"
+  "CMakeFiles/rap_benchprogs.dir/BenchProgramsStanford.cpp.o"
+  "CMakeFiles/rap_benchprogs.dir/BenchProgramsStanford.cpp.o.d"
+  "librap_benchprogs.a"
+  "librap_benchprogs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_benchprogs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

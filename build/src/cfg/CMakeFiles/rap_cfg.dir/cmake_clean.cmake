@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_cfg.dir/Cfg.cpp.o"
+  "CMakeFiles/rap_cfg.dir/Cfg.cpp.o.d"
+  "CMakeFiles/rap_cfg.dir/Dominators.cpp.o"
+  "CMakeFiles/rap_cfg.dir/Dominators.cpp.o.d"
+  "CMakeFiles/rap_cfg.dir/Liveness.cpp.o"
+  "CMakeFiles/rap_cfg.dir/Liveness.cpp.o.d"
+  "CMakeFiles/rap_cfg.dir/LoopInfo.cpp.o"
+  "CMakeFiles/rap_cfg.dir/LoopInfo.cpp.o.d"
+  "librap_cfg.a"
+  "librap_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/Pipeline.cpp" "src/driver/CMakeFiles/rap_driver.dir/Pipeline.cpp.o" "gcc" "src/driver/CMakeFiles/rap_driver.dir/Pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/rap_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/lower/CMakeFiles/rap_lower.dir/DependInfo.cmake"
+  "/root/repo/build/src/regalloc/CMakeFiles/rap_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/rap_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/rap_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdg/CMakeFiles/rap_pdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/rap_cfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

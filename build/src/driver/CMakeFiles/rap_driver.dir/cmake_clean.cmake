@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_driver.dir/Pipeline.cpp.o"
+  "CMakeFiles/rap_driver.dir/Pipeline.cpp.o.d"
+  "librap_driver.a"
+  "librap_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapcc.dir/rapcc.cpp.o"
+  "CMakeFiles/rapcc.dir/rapcc.cpp.o.d"
+  "rapcc"
+  "rapcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/rap_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/rap_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/rap_frontend.dir/Parser.cpp.o.d"
+  "CMakeFiles/rap_frontend.dir/Sema.cpp.o"
+  "CMakeFiles/rap_frontend.dir/Sema.cpp.o.d"
+  "librap_frontend.a"
+  "librap_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/rap_interp.dir/Interpreter.cpp.o.d"
+  "librap_interp.a"
+  "librap_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_ir.dir/Linearize.cpp.o"
+  "CMakeFiles/rap_ir.dir/Linearize.cpp.o.d"
+  "CMakeFiles/rap_ir.dir/Printer.cpp.o"
+  "CMakeFiles/rap_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/rap_ir.dir/RegionTree.cpp.o"
+  "CMakeFiles/rap_ir.dir/RegionTree.cpp.o.d"
+  "librap_ir.a"
+  "librap_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_lower.dir/AstLowering.cpp.o"
+  "CMakeFiles/rap_lower.dir/AstLowering.cpp.o.d"
+  "librap_lower.a"
+  "librap_lower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

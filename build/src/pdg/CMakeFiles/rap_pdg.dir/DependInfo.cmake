@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdg/ControlDependence.cpp" "src/pdg/CMakeFiles/rap_pdg.dir/ControlDependence.cpp.o" "gcc" "src/pdg/CMakeFiles/rap_pdg.dir/ControlDependence.cpp.o.d"
+  "/root/repo/src/pdg/DataDependence.cpp" "src/pdg/CMakeFiles/rap_pdg.dir/DataDependence.cpp.o" "gcc" "src/pdg/CMakeFiles/rap_pdg.dir/DataDependence.cpp.o.d"
+  "/root/repo/src/pdg/Dot.cpp" "src/pdg/CMakeFiles/rap_pdg.dir/Dot.cpp.o" "gcc" "src/pdg/CMakeFiles/rap_pdg.dir/Dot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/rap_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/rap_cfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_pdg.dir/ControlDependence.cpp.o"
+  "CMakeFiles/rap_pdg.dir/ControlDependence.cpp.o.d"
+  "CMakeFiles/rap_pdg.dir/DataDependence.cpp.o"
+  "CMakeFiles/rap_pdg.dir/DataDependence.cpp.o.d"
+  "CMakeFiles/rap_pdg.dir/Dot.cpp.o"
+  "CMakeFiles/rap_pdg.dir/Dot.cpp.o.d"
+  "librap_pdg.a"
+  "librap_pdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_pdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

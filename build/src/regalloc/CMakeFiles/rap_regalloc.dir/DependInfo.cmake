@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regalloc/AllocSupport.cpp" "src/regalloc/CMakeFiles/rap_regalloc.dir/AllocSupport.cpp.o" "gcc" "src/regalloc/CMakeFiles/rap_regalloc.dir/AllocSupport.cpp.o.d"
+  "/root/repo/src/regalloc/AssignmentVerifier.cpp" "src/regalloc/CMakeFiles/rap_regalloc.dir/AssignmentVerifier.cpp.o" "gcc" "src/regalloc/CMakeFiles/rap_regalloc.dir/AssignmentVerifier.cpp.o.d"
+  "/root/repo/src/regalloc/Coalesce.cpp" "src/regalloc/CMakeFiles/rap_regalloc.dir/Coalesce.cpp.o" "gcc" "src/regalloc/CMakeFiles/rap_regalloc.dir/Coalesce.cpp.o.d"
+  "/root/repo/src/regalloc/Coloring.cpp" "src/regalloc/CMakeFiles/rap_regalloc.dir/Coloring.cpp.o" "gcc" "src/regalloc/CMakeFiles/rap_regalloc.dir/Coloring.cpp.o.d"
+  "/root/repo/src/regalloc/GlobalSpillCleanup.cpp" "src/regalloc/CMakeFiles/rap_regalloc.dir/GlobalSpillCleanup.cpp.o" "gcc" "src/regalloc/CMakeFiles/rap_regalloc.dir/GlobalSpillCleanup.cpp.o.d"
+  "/root/repo/src/regalloc/Gra.cpp" "src/regalloc/CMakeFiles/rap_regalloc.dir/Gra.cpp.o" "gcc" "src/regalloc/CMakeFiles/rap_regalloc.dir/Gra.cpp.o.d"
+  "/root/repo/src/regalloc/InterferenceGraph.cpp" "src/regalloc/CMakeFiles/rap_regalloc.dir/InterferenceGraph.cpp.o" "gcc" "src/regalloc/CMakeFiles/rap_regalloc.dir/InterferenceGraph.cpp.o.d"
+  "/root/repo/src/regalloc/Peephole.cpp" "src/regalloc/CMakeFiles/rap_regalloc.dir/Peephole.cpp.o" "gcc" "src/regalloc/CMakeFiles/rap_regalloc.dir/Peephole.cpp.o.d"
+  "/root/repo/src/regalloc/PhysicalRewrite.cpp" "src/regalloc/CMakeFiles/rap_regalloc.dir/PhysicalRewrite.cpp.o" "gcc" "src/regalloc/CMakeFiles/rap_regalloc.dir/PhysicalRewrite.cpp.o.d"
+  "/root/repo/src/regalloc/Rap.cpp" "src/regalloc/CMakeFiles/rap_regalloc.dir/Rap.cpp.o" "gcc" "src/regalloc/CMakeFiles/rap_regalloc.dir/Rap.cpp.o.d"
+  "/root/repo/src/regalloc/SpillCodeMovement.cpp" "src/regalloc/CMakeFiles/rap_regalloc.dir/SpillCodeMovement.cpp.o" "gcc" "src/regalloc/CMakeFiles/rap_regalloc.dir/SpillCodeMovement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/rap_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/rap_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdg/CMakeFiles/rap_pdg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_regalloc.dir/AllocSupport.cpp.o"
+  "CMakeFiles/rap_regalloc.dir/AllocSupport.cpp.o.d"
+  "CMakeFiles/rap_regalloc.dir/AssignmentVerifier.cpp.o"
+  "CMakeFiles/rap_regalloc.dir/AssignmentVerifier.cpp.o.d"
+  "CMakeFiles/rap_regalloc.dir/Coalesce.cpp.o"
+  "CMakeFiles/rap_regalloc.dir/Coalesce.cpp.o.d"
+  "CMakeFiles/rap_regalloc.dir/Coloring.cpp.o"
+  "CMakeFiles/rap_regalloc.dir/Coloring.cpp.o.d"
+  "CMakeFiles/rap_regalloc.dir/GlobalSpillCleanup.cpp.o"
+  "CMakeFiles/rap_regalloc.dir/GlobalSpillCleanup.cpp.o.d"
+  "CMakeFiles/rap_regalloc.dir/Gra.cpp.o"
+  "CMakeFiles/rap_regalloc.dir/Gra.cpp.o.d"
+  "CMakeFiles/rap_regalloc.dir/InterferenceGraph.cpp.o"
+  "CMakeFiles/rap_regalloc.dir/InterferenceGraph.cpp.o.d"
+  "CMakeFiles/rap_regalloc.dir/Peephole.cpp.o"
+  "CMakeFiles/rap_regalloc.dir/Peephole.cpp.o.d"
+  "CMakeFiles/rap_regalloc.dir/PhysicalRewrite.cpp.o"
+  "CMakeFiles/rap_regalloc.dir/PhysicalRewrite.cpp.o.d"
+  "CMakeFiles/rap_regalloc.dir/Rap.cpp.o"
+  "CMakeFiles/rap_regalloc.dir/Rap.cpp.o.d"
+  "CMakeFiles/rap_regalloc.dir/SpillCodeMovement.cpp.o"
+  "CMakeFiles/rap_regalloc.dir/SpillCodeMovement.cpp.o.d"
+  "librap_regalloc.a"
+  "librap_regalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_regalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_alloc_invariants_test.dir/alloc_invariants_test.cpp.o"
+  "CMakeFiles/rap_alloc_invariants_test.dir/alloc_invariants_test.cpp.o.d"
+  "rap_alloc_invariants_test"
+  "rap_alloc_invariants_test.pdb"
+  "rap_alloc_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_alloc_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

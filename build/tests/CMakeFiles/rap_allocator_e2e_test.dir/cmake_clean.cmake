@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_allocator_e2e_test.dir/allocator_e2e_test.cpp.o"
+  "CMakeFiles/rap_allocator_e2e_test.dir/allocator_e2e_test.cpp.o.d"
+  "rap_allocator_e2e_test"
+  "rap_allocator_e2e_test.pdb"
+  "rap_allocator_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_allocator_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_benchprogs_test.dir/benchprogs_test.cpp.o"
+  "CMakeFiles/rap_benchprogs_test.dir/benchprogs_test.cpp.o.d"
+  "rap_benchprogs_test"
+  "rap_benchprogs_test.pdb"
+  "rap_benchprogs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_benchprogs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

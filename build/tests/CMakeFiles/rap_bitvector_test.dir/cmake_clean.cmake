@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_bitvector_test.dir/bitvector_test.cpp.o"
+  "CMakeFiles/rap_bitvector_test.dir/bitvector_test.cpp.o.d"
+  "rap_bitvector_test"
+  "rap_bitvector_test.pdb"
+  "rap_bitvector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_bitvector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_cfg_test.dir/cfg_test.cpp.o"
+  "CMakeFiles/rap_cfg_test.dir/cfg_test.cpp.o.d"
+  "rap_cfg_test"
+  "rap_cfg_test.pdb"
+  "rap_cfg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_cfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_cleanup_verifier_test.dir/cleanup_verifier_test.cpp.o"
+  "CMakeFiles/rap_cleanup_verifier_test.dir/cleanup_verifier_test.cpp.o.d"
+  "rap_cleanup_verifier_test"
+  "rap_cleanup_verifier_test.pdb"
+  "rap_cleanup_verifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_cleanup_verifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

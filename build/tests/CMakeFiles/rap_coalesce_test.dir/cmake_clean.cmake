@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_coalesce_test.dir/coalesce_test.cpp.o"
+  "CMakeFiles/rap_coalesce_test.dir/coalesce_test.cpp.o.d"
+  "rap_coalesce_test"
+  "rap_coalesce_test.pdb"
+  "rap_coalesce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_coalesce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

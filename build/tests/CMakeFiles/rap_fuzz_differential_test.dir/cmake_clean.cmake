@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_fuzz_differential_test.dir/fuzz_differential_test.cpp.o"
+  "CMakeFiles/rap_fuzz_differential_test.dir/fuzz_differential_test.cpp.o.d"
+  "rap_fuzz_differential_test"
+  "rap_fuzz_differential_test.pdb"
+  "rap_fuzz_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_fuzz_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

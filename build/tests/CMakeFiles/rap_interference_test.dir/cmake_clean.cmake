@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_interference_test.dir/interference_test.cpp.o"
+  "CMakeFiles/rap_interference_test.dir/interference_test.cpp.o.d"
+  "rap_interference_test"
+  "rap_interference_test.pdb"
+  "rap_interference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_interference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

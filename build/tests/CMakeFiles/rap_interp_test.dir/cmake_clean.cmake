@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_interp_test.dir/interp_test.cpp.o"
+  "CMakeFiles/rap_interp_test.dir/interp_test.cpp.o.d"
+  "rap_interp_test"
+  "rap_interp_test.pdb"
+  "rap_interp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_ir_support_test.dir/ir_support_test.cpp.o"
+  "CMakeFiles/rap_ir_support_test.dir/ir_support_test.cpp.o.d"
+  "rap_ir_support_test"
+  "rap_ir_support_test.pdb"
+  "rap_ir_support_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_ir_support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_lexer_test.dir/lexer_test.cpp.o"
+  "CMakeFiles/rap_lexer_test.dir/lexer_test.cpp.o.d"
+  "rap_lexer_test"
+  "rap_lexer_test.pdb"
+  "rap_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_linearize_regiontree_test.dir/linearize_regiontree_test.cpp.o"
+  "CMakeFiles/rap_linearize_regiontree_test.dir/linearize_regiontree_test.cpp.o.d"
+  "rap_linearize_regiontree_test"
+  "rap_linearize_regiontree_test.pdb"
+  "rap_linearize_regiontree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_linearize_regiontree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_movement_gra_test.dir/movement_gra_test.cpp.o"
+  "CMakeFiles/rap_movement_gra_test.dir/movement_gra_test.cpp.o.d"
+  "rap_movement_gra_test"
+  "rap_movement_gra_test.pdb"
+  "rap_movement_gra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_movement_gra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

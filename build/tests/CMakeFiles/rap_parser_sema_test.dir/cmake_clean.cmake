@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_parser_sema_test.dir/parser_sema_test.cpp.o"
+  "CMakeFiles/rap_parser_sema_test.dir/parser_sema_test.cpp.o.d"
+  "rap_parser_sema_test"
+  "rap_parser_sema_test.pdb"
+  "rap_parser_sema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_parser_sema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_pdg_analysis_test.dir/pdg_analysis_test.cpp.o"
+  "CMakeFiles/rap_pdg_analysis_test.dir/pdg_analysis_test.cpp.o.d"
+  "rap_pdg_analysis_test"
+  "rap_pdg_analysis_test.pdb"
+  "rap_pdg_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_pdg_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

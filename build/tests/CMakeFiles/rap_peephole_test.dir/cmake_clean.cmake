@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_peephole_test.dir/peephole_test.cpp.o"
+  "CMakeFiles/rap_peephole_test.dir/peephole_test.cpp.o.d"
+  "rap_peephole_test"
+  "rap_peephole_test.pdb"
+  "rap_peephole_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_peephole_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_pipeline_smoke_test.dir/pipeline_smoke_test.cpp.o"
+  "CMakeFiles/rap_pipeline_smoke_test.dir/pipeline_smoke_test.cpp.o.d"
+  "rap_pipeline_smoke_test"
+  "rap_pipeline_smoke_test.pdb"
+  "rap_pipeline_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_pipeline_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_rap_regiongraph_test.dir/rap_regiongraph_test.cpp.o"
+  "CMakeFiles/rap_rap_regiongraph_test.dir/rap_regiongraph_test.cpp.o.d"
+  "rap_rap_regiongraph_test"
+  "rap_rap_regiongraph_test.pdb"
+  "rap_rap_regiongraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_rap_regiongraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/rap_pipeline_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/rap_allocator_e2e_test[1]_include.cmake")
+include("/root/repo/build/tests/rap_fuzz_differential_test[1]_include.cmake")
+include("/root/repo/build/tests/rap_benchprogs_test[1]_include.cmake")
+include("/root/repo/build/tests/rap_bitvector_test[1]_include.cmake")
+include("/root/repo/build/tests/rap_lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/rap_parser_sema_test[1]_include.cmake")
+include("/root/repo/build/tests/rap_cfg_test[1]_include.cmake")
+include("/root/repo/build/tests/rap_interference_test[1]_include.cmake")
+include("/root/repo/build/tests/rap_interp_test[1]_include.cmake")
+include("/root/repo/build/tests/rap_peephole_test[1]_include.cmake")
+include("/root/repo/build/tests/rap_linearize_regiontree_test[1]_include.cmake")
+include("/root/repo/build/tests/rap_pdg_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/rap_rap_regiongraph_test[1]_include.cmake")
+include("/root/repo/build/tests/rap_cleanup_verifier_test[1]_include.cmake")
+include("/root/repo/build/tests/rap_movement_gra_test[1]_include.cmake")
+include("/root/repo/build/tests/rap_coalesce_test[1]_include.cmake")
+include("/root/repo/build/tests/rap_ir_support_test[1]_include.cmake")
+include("/root/repo/build/tests/rap_alloc_invariants_test[1]_include.cmake")
