@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Builds the tree and smoke-runs the allocation benchmarks: a quick signal
+# that the harnesses still compile, run, and emit their counters. Timings
+# from the tiny min_time are NOT meaningful; use a longer --benchmark_min_time
+# run for real measurements.
+#
+# Usage: scripts/bench_smoke.sh [build-dir]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+
+cmake -S "$REPO_ROOT" -B "$BUILD_DIR" >/dev/null
+cmake --build "$BUILD_DIR" --target alloc_cost alloc_scale -j "$(nproc)"
+
+OUT="$BUILD_DIR/BENCH_alloc.json"
+"$BUILD_DIR/bench/alloc_cost" \
+  --benchmark_min_time=0.01 \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json
+
+# alloc_scale's startup verifies serial == parallel output before timing.
+"$BUILD_DIR/bench/alloc_scale" --benchmark_min_time=0.01 \
+  --benchmark_filter='rap/all37/k3/t4'
+
+echo "bench smoke OK; counters in $OUT"

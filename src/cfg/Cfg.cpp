@@ -8,7 +8,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <set>
 #include <sstream>
 
 using namespace rap;
@@ -18,17 +17,20 @@ Cfg::Cfg(const LinearCode &Code) {
   assert(N > 0 && "cannot build a CFG for an empty function");
 
   // Compute leaders: entry, branch targets, and instructions after branches.
-  std::set<unsigned> Leaders;
-  Leaders.insert(0);
+  std::vector<char> IsLeader(N, 0);
+  IsLeader[0] = 1;
   for (unsigned P : Code.LabelPos)
     if (P < N)
-      Leaders.insert(P);
+      IsLeader[P] = 1;
   for (unsigned I = 0; I != N; ++I)
     if (isBranchOpcode(Code.Instrs[I]->Op) && I + 1 < N)
-      Leaders.insert(I + 1);
+      IsLeader[I + 1] = 1;
 
   // Carve blocks.
-  std::vector<unsigned> Starts(Leaders.begin(), Leaders.end());
+  std::vector<unsigned> Starts;
+  for (unsigned I = 0; I != N; ++I)
+    if (IsLeader[I])
+      Starts.push_back(I);
   BlockOfInstr.assign(N, 0);
   for (size_t I = 0; I != Starts.size(); ++I) {
     BasicBlock B;

@@ -7,16 +7,23 @@
 #include "cfg/Liveness.h"
 
 #include <cassert>
+#include <cstdlib>
 
 using namespace rap;
 
-Liveness::Liveness(const LinearCode &Code, const Cfg &G, unsigned NumVRegs) {
-  unsigned N = static_cast<unsigned>(Code.Instrs.size());
-  unsigned NumBlocks = G.numBlocks();
+namespace {
+bool verifyLivenessEnv() {
+  static const bool V = std::getenv("RAP_VERIFY_LIVENESS") != nullptr;
+  return V;
+}
+} // namespace
 
-  // Block-level use (upward exposed) and def sets.
-  std::vector<BitVector> Use(NumBlocks, BitVector(NumVRegs));
-  std::vector<BitVector> Def(NumBlocks, BitVector(NumVRegs));
+void Liveness::computeBlockSets(const LinearCode &Code, const Cfg &G,
+                                unsigned NumVRegs) {
+  unsigned NumBlocks = G.numBlocks();
+  Use.assign(NumBlocks, BitVector(NumVRegs));
+  Def.assign(NumBlocks, BitVector(NumVRegs));
+  Succs.resize(NumBlocks);
   for (unsigned B = 0; B != NumBlocks; ++B) {
     const BasicBlock &BB = G.block(B);
     for (unsigned P = BB.Begin; P != BB.End; ++P) {
@@ -27,35 +34,55 @@ Liveness::Liveness(const LinearCode &Code, const Cfg &G, unsigned NumVRegs) {
       if (I->hasDef())
         Def[B].set(I->Dst);
     }
+    Succs[B] = BB.Succs;
   }
+}
 
-  // Backward fixpoint over blocks.
-  std::vector<BitVector> In(NumBlocks, BitVector(NumVRegs));
-  std::vector<BitVector> Out(NumBlocks, BitVector(NumVRegs));
+void Liveness::solve(const Cfg &G) {
+  unsigned NumBlocks = G.numBlocks();
+  BitVector NewOut(Use.empty() ? 0 : Use[0].size());
+  BitVector NewIn(NewOut.size());
   bool Changed = true;
   while (Changed) {
     Changed = false;
     for (unsigned BI = NumBlocks; BI-- > 0;) {
-      BitVector NewOut(NumVRegs);
+      NewOut.clear();
       for (unsigned S : G.block(BI).Succs)
         NewOut.unionWith(In[S]);
-      BitVector NewIn = NewOut;
+      NewIn = NewOut;
       NewIn.subtract(Def[BI]);
       NewIn.unionWith(Use[BI]);
       if (NewOut != Out[BI] || NewIn != In[BI]) {
-        Out[BI] = std::move(NewOut);
-        In[BI] = std::move(NewIn);
+        Out[BI] = NewOut;
+        In[BI] = NewIn;
         Changed = true;
       }
     }
   }
+}
 
-  // Refine to instruction positions.
-  Before.assign(N + 1, BitVector(NumVRegs));
-  After.assign(N, BitVector(NumVRegs));
-  for (unsigned B = 0; B != NumBlocks; ++B) {
+void Liveness::refine(const LinearCode &Code, const Cfg &G,
+                      unsigned NumVRegs) {
+  unsigned N = static_cast<unsigned>(Code.Instrs.size());
+  // Recycle per-position sets scavenged from a consumed previous solution
+  // (see the incremental constructor): vector::assign would reallocate
+  // every element once the position count grows past the old capacity, so
+  // reshape the survivors in place and only construct the tail.
+  auto Reshape = [NumVRegs](std::vector<BitVector> &V, unsigned Count) {
+    if (V.size() > Count)
+      V.resize(Count);
+    for (BitVector &B : V)
+      B.resetUniverse(NumVRegs);
+    V.reserve(Count);
+    while (V.size() < Count)
+      V.emplace_back(NumVRegs);
+  };
+  Reshape(Before, N + 1);
+  Reshape(After, N);
+  BitVector Live;
+  for (unsigned B = 0, E = G.numBlocks(); B != E; ++B) {
     const BasicBlock &BB = G.block(B);
-    BitVector Live = Out[B];
+    Live = Out[B];
     for (unsigned P = BB.End; P-- > BB.Begin;) {
       const Instr *I = Code.Instrs[P];
       After[P] = Live;
@@ -67,5 +94,70 @@ Liveness::Liveness(const LinearCode &Code, const Cfg &G, unsigned NumVRegs) {
     }
     assert(Live == In[B] && "per-instruction refinement disagrees with "
                             "block-level dataflow");
+  }
+}
+
+bool Liveness::sameShape(const Liveness &Prev, const Cfg &G) const {
+  if (Prev.Succs.size() != G.numBlocks())
+    return false;
+  for (unsigned B = 0, E = G.numBlocks(); B != E; ++B)
+    if (Prev.Succs[B] != G.block(B).Succs)
+      return false;
+  return true;
+}
+
+Liveness::Liveness(const LinearCode &Code, const Cfg &G, unsigned NumVRegs) {
+  computeBlockSets(Code, G, NumVRegs);
+  In.assign(G.numBlocks(), BitVector(NumVRegs));
+  Out.assign(G.numBlocks(), BitVector(NumVRegs));
+  solve(G);
+  refine(Code, G, NumVRegs);
+}
+
+Liveness::Liveness(const LinearCode &Code, const Cfg &G, unsigned NumVRegs,
+                   Liveness *Prev) {
+  computeBlockSets(Code, G, NumVRegs);
+  unsigned NumBlocks = G.numBlocks();
+  if (Prev && sameShape(*Prev, G)) {
+    // Liveness is independent per register bit: a register whose use/def
+    // bits are identical in every block (over unchanged CFG edges) has the
+    // same equations as before, so its old In/Out bits are already the
+    // least fixpoint. Only registers with changed equations — including
+    // every register created since Prev, whose old bits are zero — restart
+    // from bottom; the fixpoint then re-converges in O(changed) work.
+    BitVector ChangedRegs(NumVRegs);
+    for (unsigned B = 0; B != NumBlocks; ++B) {
+      ChangedRegs.unionWithXorOf(Use[B], Prev->Use[B]);
+      ChangedRegs.unionWithXorOf(Def[B], Prev->Def[B]);
+    }
+    In = std::move(Prev->In);
+    Out = std::move(Prev->Out);
+    for (unsigned B = 0; B != NumBlocks; ++B) {
+      In[B].growTo(NumVRegs);
+      Out[B].growTo(NumVRegs);
+      In[B].subtract(ChangedRegs);
+      Out[B].subtract(ChangedRegs);
+    }
+    WarmStarted = true;
+  } else {
+    In.assign(NumBlocks, BitVector(NumVRegs));
+    Out.assign(NumBlocks, BitVector(NumVRegs));
+  }
+  if (Prev) {
+    // Scavenge the consumed solution's per-position buffers; refine()'s
+    // assign() then mostly reuses their heap storage instead of
+    // reallocating ~2 bitsets per instruction on every spill round.
+    Before = std::move(Prev->Before);
+    After = std::move(Prev->After);
+  }
+  solve(G);
+  refine(Code, G, NumVRegs);
+
+  if (WarmStarted && verifyLivenessEnv()) {
+    Liveness Cold(Code, G, NumVRegs);
+    if (!(*this == Cold)) {
+      assert(false && "incremental liveness diverged from cold recompute");
+      std::abort(); // keep the check meaningful even if NDEBUG sneaks in
+    }
   }
 }

@@ -43,6 +43,20 @@ public:
   }
   IlocFunction *function(int Id) const { return Functions[Id].get(); }
 
+  /// Takes ownership of an externally built function. Call instructions in
+  /// the adopted body keep their original Callee indices — the caller is
+  /// responsible for any remapping (benchmark drivers that only allocate,
+  /// never interpret, can skip it).
+  IlocFunction *adoptFunction(std::unique_ptr<IlocFunction> F) {
+    Functions.push_back(std::move(F));
+    return Functions.back().get();
+  }
+
+  /// Releases all functions to the caller, leaving the program empty.
+  std::vector<std::unique_ptr<IlocFunction>> takeFunctions() {
+    return std::move(Functions);
+  }
+
   int functionId(const IlocFunction *F) const {
     for (int I = 0, E = static_cast<int>(Functions.size()); I != E; ++I)
       if (Functions[I].get() == F)

@@ -42,42 +42,3 @@ std::vector<PdgNode *> PdgNode::subregions() const {
   }
   return Out;
 }
-
-void PdgNode::forEachInstr(const std::function<void(Instr *)> &Fn) const {
-  switch (Kind) {
-  case PdgNodeKind::Statement:
-    for (Instr *I : Code)
-      Fn(I);
-    return;
-  case PdgNodeKind::Predicate:
-    for (Instr *I : Code)
-      Fn(I);
-    if (Branch)
-      Fn(Branch);
-    if (TrueRegion)
-      TrueRegion->forEachInstr(Fn);
-    if (Jump)
-      Fn(Jump);
-    if (FalseRegion)
-      FalseRegion->forEachInstr(Fn);
-    return;
-  case PdgNodeKind::Region:
-    for (const PdgNode *C : Children)
-      C->forEachInstr(Fn);
-    return;
-  }
-}
-
-void PdgNode::forEachNode(
-    const std::function<void(const PdgNode *)> &Fn) const {
-  Fn(this);
-  if (isPredicate()) {
-    if (TrueRegion)
-      TrueRegion->forEachNode(Fn);
-    if (FalseRegion)
-      FalseRegion->forEachNode(Fn);
-    return;
-  }
-  for (const PdgNode *C : Children)
-    C->forEachNode(Fn);
-}

@@ -123,10 +123,46 @@ public:
   std::vector<PdgNode *> subregions() const;
 
   /// Visits every instruction in the subtree rooted here, in linear order.
-  void forEachInstr(const std::function<void(Instr *)> &Fn) const;
+  /// Templated (not std::function) so the per-instruction callback inlines —
+  /// this runs inside the allocator's graph-build inner loop.
+  template <typename FnT> void forEachInstr(FnT &&Fn) const {
+    switch (Kind) {
+    case PdgNodeKind::Statement:
+      for (Instr *I : Code)
+        Fn(I);
+      return;
+    case PdgNodeKind::Predicate:
+      for (Instr *I : Code)
+        Fn(I);
+      if (Branch)
+        Fn(Branch);
+      if (TrueRegion)
+        TrueRegion->forEachInstr(Fn);
+      if (Jump)
+        Fn(Jump);
+      if (FalseRegion)
+        FalseRegion->forEachInstr(Fn);
+      return;
+    case PdgNodeKind::Region:
+      for (const PdgNode *C : Children)
+        C->forEachInstr(Fn);
+      return;
+    }
+  }
 
   /// Visits every node in the subtree (preorder), including this node.
-  void forEachNode(const std::function<void(const PdgNode *)> &Fn) const;
+  template <typename FnT> void forEachNode(FnT &&Fn) const {
+    Fn(this);
+    if (isPredicate()) {
+      if (TrueRegion)
+        TrueRegion->forEachNode(Fn);
+      if (FalseRegion)
+        FalseRegion->forEachNode(Fn);
+      return;
+    }
+    for (const PdgNode *C : Children)
+      C->forEachNode(Fn);
+  }
 
 private:
   PdgNodeKind Kind;

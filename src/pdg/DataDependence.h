@@ -50,6 +50,13 @@ public:
   /// All flow dependences, sorted by (def, use).
   const std::vector<FlowDep> &flowDeps() const { return Flows; }
 
+  /// The flow dependences of the single register \p R, sorted by (def, use).
+  /// Runs the reaching-definitions fixpoint over just R's definitions, so a
+  /// caller interested in one register (RAP's outside-the-region spill
+  /// fixup) avoids the whole-function solve.
+  static std::vector<FlowDep> flowDepsFor(const LinearCode &Code,
+                                          const Cfg &G, Reg R);
+
   /// The definition positions reaching the use of \p R at \p UsePos.
   std::vector<unsigned> reachingDefs(unsigned UsePos, Reg R) const;
 

@@ -8,31 +8,66 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 using namespace rap;
 
-RefInfo::RefInfo(const LinearCode &Code, unsigned NumVRegs)
-    : Uses(NumVRegs), Defs(NumVRegs) {
-  for (unsigned P = 0, E = static_cast<unsigned>(Code.Instrs.size()); P != E;
-       ++P) {
-    const Instr *I = Code.Instrs[P];
-    for (Reg R : I->Src)
-      Uses[R].push_back(P);
-    if (I->hasDef())
-      Defs[I->Dst].push_back(P);
-  }
-  for (auto &V : Uses)
-    V.erase(std::unique(V.begin(), V.end()), V.end());
+Liveness CodeInfo::timedLiveness(CodeInfo &CI, unsigned NumVRegs,
+                                 Liveness *Prev) {
+  auto Start = std::chrono::steady_clock::now();
+  Liveness L(CI.Code, CI.Graph, NumVRegs, Prev);
+  CI.LivenessSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return L;
 }
 
-static bool anyWithin(const std::vector<unsigned> &Sorted, unsigned Begin,
-                      unsigned End) {
+RefInfo::RefInfo(const LinearCode &Code, unsigned NumVRegs) {
+  unsigned E = static_cast<unsigned>(Code.Instrs.size());
+
+  // Counting sort into CSR form: count per register, prefix-sum, then place
+  // each position. The forward walk keeps positions ascending per register,
+  // and an instruction using a register twice contributes one use position.
+  UseStart.assign(NumVRegs + 1, 0);
+  DefStart.assign(NumVRegs + 1, 0);
+  auto FirstUseInInstr = [](const Instr *I, size_t J) {
+    for (size_t K = 0; K != J; ++K)
+      if (I->Src[K] == I->Src[J])
+        return false;
+    return true;
+  };
+  for (unsigned P = 0; P != E; ++P) {
+    const Instr *I = Code.Instrs[P];
+    for (size_t J = 0; J != I->Src.size(); ++J)
+      if (FirstUseInInstr(I, J))
+        ++UseStart[I->Src[J] + 1];
+    if (I->hasDef())
+      ++DefStart[I->Dst + 1];
+  }
+  for (unsigned R = 0; R != NumVRegs; ++R) {
+    UseStart[R + 1] += UseStart[R];
+    DefStart[R + 1] += DefStart[R];
+  }
+  UsePos.resize(UseStart[NumVRegs]);
+  DefPos.resize(DefStart[NumVRegs]);
+  std::vector<unsigned> UseNext(UseStart.begin(), UseStart.end() - 1);
+  std::vector<unsigned> DefNext(DefStart.begin(), DefStart.end() - 1);
+  for (unsigned P = 0; P != E; ++P) {
+    const Instr *I = Code.Instrs[P];
+    for (size_t J = 0; J != I->Src.size(); ++J)
+      if (FirstUseInInstr(I, J))
+        UsePos[UseNext[I->Src[J]]++] = P;
+    if (I->hasDef())
+      DefPos[DefNext[I->Dst]++] = P;
+  }
+}
+
+static bool anyWithin(PosSpan Sorted, unsigned Begin, unsigned End) {
   auto It = std::lower_bound(Sorted.begin(), Sorted.end(), Begin);
   return It != Sorted.end() && *It < End;
 }
 
-static bool allWithin(const std::vector<unsigned> &Sorted, unsigned Begin,
-                      unsigned End) {
+static bool allWithin(PosSpan Sorted, unsigned Begin, unsigned End) {
   for (unsigned P : Sorted)
     if (P < Begin || P >= End)
       return false;
@@ -40,15 +75,16 @@ static bool allWithin(const std::vector<unsigned> &Sorted, unsigned Begin,
 }
 
 bool RefInfo::allRefsWithin(Reg R, unsigned Begin, unsigned End) const {
-  return allWithin(Uses[R], Begin, End) && allWithin(Defs[R], Begin, End);
+  return allWithin(usePositions(R), Begin, End) &&
+         allWithin(defPositions(R), Begin, End);
 }
 
 bool RefInfo::usedWithin(Reg R, unsigned Begin, unsigned End) const {
-  return anyWithin(Uses[R], Begin, End);
+  return anyWithin(usePositions(R), Begin, End);
 }
 
 bool RefInfo::definedWithin(Reg R, unsigned Begin, unsigned End) const {
-  return anyWithin(Defs[R], Begin, End);
+  return anyWithin(defPositions(R), Begin, End);
 }
 
 //===----------------------------------------------------------------------===//
@@ -56,22 +92,29 @@ bool RefInfo::definedWithin(Reg R, unsigned Begin, unsigned End) const {
 //===----------------------------------------------------------------------===//
 
 void CodeEditor::refresh() {
-  Owners.clear();
+  Owners.assign(F.numInstrIds(), Owner{});
   F.root()->forEachNode([&](const PdgNode *N) {
     if (!N->isStatement() && !N->isPredicate())
       return;
     auto *MutN = const_cast<PdgNode *>(N);
     for (Instr *I : N->Code)
-      Owners[I] = Owner{MutN, false};
+      Owners[I->Id] = Owner{MutN, false};
     if (N->isPredicate() && N->Branch)
-      Owners[N->Branch] = Owner{MutN, true};
+      Owners[N->Branch->Id] = Owner{MutN, true};
   });
 }
 
 CodeEditor::Owner CodeEditor::ownerOf(Instr *I) const {
-  auto It = Owners.find(I);
-  assert(It != Owners.end() && "anchor instruction not found in region tree");
-  return It->second;
+  assert(I->Id < Owners.size() && Owners[I->Id].N &&
+         "anchor instruction not found in region tree");
+  return Owners[I->Id];
+}
+
+void CodeEditor::setOwner(Instr *I, Owner O) {
+  // Fresh spill instructions get ids past the refresh-time arena size.
+  if (I->Id >= Owners.size())
+    Owners.resize(I->Id + 1, Owner{});
+  Owners[I->Id] = O;
 }
 
 void CodeEditor::insertBefore(Instr *Anchor, Instr *NewI) {
@@ -84,7 +127,7 @@ void CodeEditor::insertBefore(Instr *Anchor, Instr *NewI) {
     assert(It != O.N->Code.end() && "owner map out of date");
     O.N->Code.insert(It, NewI);
   }
-  Owners[NewI] = Owner{O.N, false};
+  setOwner(NewI, Owner{O.N, false});
 }
 
 void CodeEditor::insertAfter(Instr *Anchor, Instr *NewI) {
@@ -93,7 +136,7 @@ void CodeEditor::insertAfter(Instr *Anchor, Instr *NewI) {
   auto It = std::find(O.N->Code.begin(), O.N->Code.end(), Anchor);
   assert(It != O.N->Code.end() && "owner map out of date");
   O.N->Code.insert(It + 1, NewI);
-  Owners[NewI] = Owner{O.N, false};
+  setOwner(NewI, Owner{O.N, false});
 }
 
 void CodeEditor::insertAtRegionEntry(PdgNode *V, Instr *NewI) {
@@ -102,7 +145,7 @@ void CodeEditor::insertAtRegionEntry(PdgNode *V, Instr *NewI) {
   S->Parent = V;
   S->Code.push_back(NewI);
   V->Children.insert(V->Children.begin(), S);
-  Owners[NewI] = Owner{S, false};
+  setOwner(NewI, Owner{S, false});
 }
 
 void CodeEditor::insertAtRegionExit(PdgNode *V, Instr *NewI) {
@@ -111,5 +154,5 @@ void CodeEditor::insertAtRegionExit(PdgNode *V, Instr *NewI) {
   S->Parent = V;
   S->Code.push_back(NewI);
   V->Children.push_back(S);
-  Owners[NewI] = Owner{S, false};
+  setOwner(NewI, Owner{S, false});
 }

@@ -18,34 +18,74 @@
 #include "cfg/Liveness.h"
 #include "ir/IlocFunction.h"
 #include "ir/Linearize.h"
+#include "pdg/DataDependence.h"
 
-#include <map>
+#include <memory>
 #include <vector>
 
 namespace rap {
 
 /// Linearization + CFG + liveness of one function. Invalidated by any code
-/// edit; allocators rebuild it after each spill round.
+/// edit; allocators rebuild it after each spill round — passing the stale
+/// CodeInfo so the liveness fixpoint warm-starts from the previous solution
+/// instead of solving from scratch (see Liveness). Flow dependences are
+/// computed lazily on first use and cached for the CodeInfo's lifetime.
 struct CodeInfo {
   LinearCode Code;
   Cfg Graph;
+  double LivenessSeconds = 0; ///< wall time of the Liveness construction
   Liveness Live;
 
-  explicit CodeInfo(IlocFunction &F)
+  /// \p Prev is consumed (its liveness buffers are scavenged); callers
+  /// replace the old CodeInfo with this one immediately after.
+  explicit CodeInfo(IlocFunction &F, CodeInfo *Prev = nullptr)
       : Code(linearize(F)), Graph(Code),
-        Live(Code, Graph, F.numVRegs()) {}
+        Live(timedLiveness(*this, F.numVRegs(),
+                           Prev ? &Prev->Live : nullptr)),
+        NumVRegs(F.numVRegs()) {}
+
+  /// The flow (def-use) dependences of Code, built on first request.
+  const DataDependence &dataDeps() const {
+    if (!DD)
+      DD = std::make_unique<DataDependence>(Code, Graph, NumVRegs);
+    return *DD;
+  }
+
+private:
+  static Liveness timedLiveness(CodeInfo &CI, unsigned NumVRegs,
+                                Liveness *Prev);
+
+  unsigned NumVRegs;
+  mutable std::unique_ptr<DataDependence> DD;
 };
 
-/// Use/def positions per virtual register over one linearization.
+/// A view of consecutive linear positions (ascending) in RefInfo's flat
+/// storage.
+struct PosSpan {
+  const unsigned *First = nullptr;
+  const unsigned *Last = nullptr;
+  const unsigned *begin() const { return First; }
+  const unsigned *end() const { return Last; }
+  size_t size() const { return static_cast<size_t>(Last - First); }
+  bool empty() const { return First == Last; }
+};
+
+/// Use/def positions per virtual register over one linearization. Stored in
+/// compressed-sparse-row form — two flat arrays, not one heap vector per
+/// register — because a RefInfo is rebuilt on every refresh after a spill.
 class RefInfo {
 public:
   RefInfo(const LinearCode &Code, unsigned NumVRegs);
 
-  const std::vector<unsigned> &usePositions(Reg R) const { return Uses[R]; }
-  const std::vector<unsigned> &defPositions(Reg R) const { return Defs[R]; }
+  PosSpan usePositions(Reg R) const {
+    return {UsePos.data() + UseStart[R], UsePos.data() + UseStart[R + 1]};
+  }
+  PosSpan defPositions(Reg R) const {
+    return {DefPos.data() + DefStart[R], DefPos.data() + DefStart[R + 1]};
+  }
 
   bool isReferenced(Reg R) const {
-    return !Uses[R].empty() || !Defs[R].empty();
+    return !usePositions(R).empty() || !defPositions(R).empty();
   }
 
   /// True if every reference of \p R lies in the linear range
@@ -61,13 +101,18 @@ public:
   }
 
 private:
-  std::vector<std::vector<unsigned>> Uses, Defs;
+  /// CSR layout: positions of register R occupy [Start[R], Start[R+1]) of
+  /// the flat position array, ascending within each register.
+  std::vector<unsigned> UseStart, DefStart;
+  std::vector<unsigned> UsePos, DefPos;
 };
 
 /// Edits ILOC attached to a function's region tree: locates an
 /// instruction's owning code vector and inserts spill code around it or at
 /// region boundaries. Anchors must exist in the tree; the editor walks the
 /// tree lazily and re-walks after external structural changes via refresh().
+/// The owner map is indexed by the function-unique instruction id, so
+/// lookups are O(1) and construction allocates a single vector.
 class CodeEditor {
 public:
   explicit CodeEditor(IlocFunction &F) : F(F) { refresh(); }
@@ -99,9 +144,10 @@ private:
     bool IsBranch = false;
   };
   Owner ownerOf(Instr *I) const;
+  void setOwner(Instr *I, Owner O);
 
   IlocFunction &F;
-  std::map<const Instr *, Owner> Owners;
+  std::vector<Owner> Owners; ///< indexed by Instr::Id
 };
 
 } // namespace rap

@@ -49,6 +49,11 @@ struct AllocOptions {
   /// spill-store elimination; the paper's §5 future work). Ablation toggle.
   bool GlobalCleanup = true;
 
+  /// Worker threads for allocateProgram. Functions are allocated
+  /// independently; 0 or 1 means serial. Results are byte-identical to a
+  /// serial run (stats aggregate in function order) regardless of the value.
+  unsigned Threads = 1;
+
   /// Ablation: also run the Figure 6 peephole on GRA output (the paper does
   /// not; this isolates how much of RAP's win the cleanup alone provides).
   bool PeepholeForGra = false;
@@ -73,6 +78,29 @@ struct AllocStats {
   unsigned CleanupRemovedStores = 0; ///< dataflow extension
   unsigned CopiesDeleted = 0; ///< mv rX, rX removed after assignment
 
+  //===------------------------------------------------------------------===//
+  // Cost instrumentation (excluded from determinism comparisons: wall time
+  // varies run to run; see structuralEq).
+  //===------------------------------------------------------------------===//
+  double GraphBuildSeconds = 0;  ///< time in interference construction
+  double LivenessSeconds = 0;    ///< time in liveness (re)computation
+  size_t PeakGraphBytes = 0;     ///< largest adjacency footprint seen
+
+  /// Field-by-field equality over the deterministic counters, ignoring the
+  /// timing instrumentation. Used by the parallel-driver determinism check.
+  bool structuralEq(const AllocStats &O) const {
+    return GraphBuilds == O.GraphBuilds && SpilledVRegs == O.SpilledVRegs &&
+           MaxGraphNodes == O.MaxGraphNodes &&
+           RegionsProcessed == O.RegionsProcessed &&
+           HoistedLoads == O.HoistedLoads && SunkStores == O.SunkStores &&
+           PeepholeRemovedLoads == O.PeepholeRemovedLoads &&
+           PeepholeRemovedStores == O.PeepholeRemovedStores &&
+           CleanupRemovedLoads == O.CleanupRemovedLoads &&
+           CleanupRemovedStores == O.CleanupRemovedStores &&
+           CopiesDeleted == O.CopiesDeleted &&
+           PeakGraphBytes == O.PeakGraphBytes;
+  }
+
   void accumulate(const AllocStats &O) {
     GraphBuilds += O.GraphBuilds;
     SpilledVRegs += O.SpilledVRegs;
@@ -86,6 +114,10 @@ struct AllocStats {
     CleanupRemovedLoads += O.CleanupRemovedLoads;
     CleanupRemovedStores += O.CleanupRemovedStores;
     CopiesDeleted += O.CopiesDeleted;
+    GraphBuildSeconds += O.GraphBuildSeconds;
+    LivenessSeconds += O.LivenessSeconds;
+    PeakGraphBytes = PeakGraphBytes > O.PeakGraphBytes ? PeakGraphBytes
+                                                       : O.PeakGraphBytes;
   }
 };
 

@@ -29,13 +29,10 @@ unsigned rap::coalesceConservatively(
       continue;
 
     // Briggs: the union must have < K neighbors of significant degree.
-    std::set<unsigned> Neighbors;
-    for (unsigned N : G.adjacency(A))
-      if (G.node(N).Alive)
-        Neighbors.insert(N);
-    for (unsigned N : G.adjacency(B))
-      if (G.node(N).Alive)
-        Neighbors.insert(N);
+    // Adjacency lists hold only alive nodes; the set unions the two lists.
+    std::set<unsigned> Neighbors(G.adjacency(A).begin(),
+                                 G.adjacency(A).end());
+    Neighbors.insert(G.adjacency(B).begin(), G.adjacency(B).end());
     unsigned Significant = 0;
     for (unsigned N : Neighbors)
       if (G.effectiveDegree(N) >= K)

@@ -27,14 +27,12 @@ ColorResult rap::colorGraph(InterferenceGraph &G, unsigned K) {
     if (G.node(N).Global)
       ++GlobalsInGraph;
   }
+  // Adjacency lists hold only alive neighbors, so counts read directly.
   for (unsigned N : Alive) {
-    for (unsigned A : G.adjacency(N)) {
-      if (!G.node(A).Alive)
-        continue;
-      ++AdjCount[N];
+    AdjCount[N] = static_cast<unsigned>(G.adjacency(N).size());
+    for (unsigned A : G.adjacency(N))
       if (G.node(A).Global)
         ++AdjGlobalCount[N];
-    }
   }
 
   auto EffDegree = [&](unsigned N) {
@@ -50,7 +48,7 @@ ColorResult rap::colorGraph(InterferenceGraph &G, unsigned K) {
     if (WasGlobal)
       --GlobalsInGraph;
     for (unsigned A : G.adjacency(N)) {
-      if (!G.node(A).Alive || !InGraph[A])
+      if (!InGraph[A])
         continue;
       --AdjCount[A];
       if (WasGlobal)
@@ -96,8 +94,6 @@ ColorResult rap::colorGraph(InterferenceGraph &G, unsigned K) {
     Stack.pop_back();
     std::vector<char> Forbidden(K, 0);
     for (unsigned A : G.adjacency(N)) {
-      if (!G.node(A).Alive)
-        continue;
       int C = G.node(A).Color;
       if (C >= 0)
         Forbidden[C] = 1;

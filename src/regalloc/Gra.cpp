@@ -24,15 +24,24 @@
 #include "regalloc/Peephole.h"
 #include "regalloc/PhysicalRewrite.h"
 
+#include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <set>
+#include <thread>
 
 using namespace rap;
 
 namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
 
 constexpr double InfiniteCost = 1e18;
 constexpr unsigned MaxSpillRounds = 100;
@@ -43,15 +52,21 @@ public:
       : F(F), Options(Options) {}
 
   AllocStats run() {
+    std::unique_ptr<CodeInfo> CI;
     for (unsigned Round = 0; Round != MaxSpillRounds; ++Round) {
-      CodeInfo CI(F);
-      RefInfo Refs(CI.Code, F.numVRegs());
-      InterferenceGraph G = buildGraph(CI, Refs);
+      // Warm-start liveness from the previous round's solution.
+      CI = std::make_unique<CodeInfo>(F, CI.get());
+      Stats.LivenessSeconds += CI->LivenessSeconds;
+      RefInfo Refs(CI->Code, F.numVRegs());
+      auto BuildStart = std::chrono::steady_clock::now();
+      InterferenceGraph G = buildGraph(*CI, Refs);
+      Stats.GraphBuildSeconds += secondsSince(BuildStart);
       if (Options.Coalesce)
-        coalesceConservatively(G, CI.Code.Instrs, Options.K);
+        coalesceConservatively(G, CI->Code.Instrs, Options.K);
       ++Stats.GraphBuilds;
       Stats.MaxGraphNodes =
           std::max(Stats.MaxGraphNodes, G.numAliveNodes());
+      Stats.PeakGraphBytes = std::max(Stats.PeakGraphBytes, G.memoryBytes());
       setSpillCosts(G, Refs);
       ColorResult CR = colorGraph(G, Options.K);
       if (CR.fullyColored()) {
@@ -63,7 +78,7 @@ public:
         }
         return Stats;
       }
-      spillRound(G, CR, CI, Refs);
+      spillRound(G, CR, *CI, Refs);
     }
     std::fprintf(stderr, "GRA: spill loop did not converge for '%s'\n",
                  F.name().c_str());
@@ -220,11 +235,40 @@ AllocStats rap::allocateProgram(IlocProgram &Prog, AllocatorKind Kind,
   AllocStats Total;
   if (Kind == AllocatorKind::None)
     return Total;
-  for (const auto &F : Prog.functions()) {
-    AllocStats S = Kind == AllocatorKind::Gra ? allocateGra(*F, Options)
-                                              : allocateRap(*F, Options);
-    Total.accumulate(S);
+  auto &Funcs = Prog.functions();
+  unsigned N = static_cast<unsigned>(Funcs.size());
+  auto allocOne = [&](unsigned I) {
+    IlocFunction &F = *Funcs[I];
+    return Kind == AllocatorKind::Gra ? allocateGra(F, Options)
+                                      : allocateRap(F, Options);
+  };
+
+  unsigned Threads = std::min(Options.Threads, N);
+  if (Threads <= 1) {
+    for (unsigned I = 0; I != N; ++I)
+      Total.accumulate(allocOne(I));
+    return Total;
   }
+
+  // Functions share no mutable state, so each is allocated independently by
+  // a small worker pool. Per-function stats land in a slot indexed by
+  // function position and are folded in function order afterwards, so the
+  // aggregate is identical to a serial run regardless of scheduling.
+  std::vector<AllocStats> Per(N);
+  std::atomic<unsigned> Next{0};
+  auto Worker = [&] {
+    for (unsigned I = Next.fetch_add(1, std::memory_order_relaxed); I < N;
+         I = Next.fetch_add(1, std::memory_order_relaxed))
+      Per[I] = allocOne(I);
+  };
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads);
+  for (unsigned T = 0; T != Threads; ++T)
+    Pool.emplace_back(Worker);
+  for (auto &T : Pool)
+    T.join();
+  for (const AllocStats &S : Per)
+    Total.accumulate(S);
   return Total;
 }
 

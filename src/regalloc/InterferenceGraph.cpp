@@ -8,26 +8,32 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 #include <sstream>
 
 using namespace rap;
 
+void InterferenceGraph::mapReg(Reg R, unsigned Id) {
+  if (R >= NodeOfReg.size())
+    NodeOfReg.resize(R + 1, -1);
+  NodeOfReg[R] = static_cast<int>(Id);
+}
+
 unsigned InterferenceGraph::getOrCreateNode(Reg R) {
-  auto It = NodeOfReg.find(R);
-  if (It != NodeOfReg.end())
-    return It->second;
+  int Existing = nodeOf(R);
+  if (Existing >= 0)
+    return static_cast<unsigned>(Existing);
   unsigned Id = static_cast<unsigned>(Nodes.size());
   Node N;
   N.VRegs.push_back(R);
   Nodes.push_back(std::move(N));
   Adj.emplace_back();
-  NodeOfReg[R] = Id;
+  // Grow the triangular matrix to cover the new node's row of Id bits.
+  size_t Bits = static_cast<size_t>(Id) * (Id + 1) / 2;
+  TriWords.resize((Bits + 63) / 64, 0);
+  mapReg(R, Id);
+  ++NumAlive;
   return Id;
-}
-
-int InterferenceGraph::nodeOf(Reg R) const {
-  auto It = NodeOfReg.find(R);
-  return It == NodeOfReg.end() ? -1 : static_cast<int>(It->second);
 }
 
 void InterferenceGraph::addEdge(Reg A, Reg B) {
@@ -39,10 +45,11 @@ void InterferenceGraph::addEdge(Reg A, Reg B) {
 
 void InterferenceGraph::addEdgeNodes(unsigned N1, unsigned N2) {
   assert(Nodes[N1].Alive && Nodes[N2].Alive && "edge on dead node");
-  if (N1 == N2)
+  if (N1 == N2 || testBit(N1, N2))
     return;
-  Adj[N1].insert(N2);
-  Adj[N2].insert(N1);
+  setBit(N1, N2);
+  Adj[N1].push_back(N2);
+  Adj[N2].push_back(N1);
 }
 
 unsigned InterferenceGraph::mergeNodes(unsigned N1, unsigned N2) {
@@ -55,36 +62,35 @@ unsigned InterferenceGraph::mergeNodes(unsigned N1, unsigned N2) {
   Node &B = Nodes[N2];
   for (Reg R : B.VRegs) {
     A.VRegs.push_back(R);
-    NodeOfReg[R] = N1;
+    mapReg(R, N1);
   }
   std::sort(A.VRegs.begin(), A.VRegs.end());
   A.Global = A.Global || B.Global;
-  assert([&] {
-    // Invariant implied by the global-global coloring rule: combining can
-    // never co-locate two region-global virtual registers (see DESIGN.md).
-    return true;
-  }());
   for (unsigned Other : Adj[N2]) {
-    Adj[Other].erase(N2);
-    if (Other != N1) {
-      Adj[Other].insert(N1);
-      Adj[N1].insert(Other);
+    clearBit(N2, Other);
+    auto &AO = Adj[Other];
+    AO.erase(std::find(AO.begin(), AO.end(), N2));
+    if (Other != N1 && !testBit(N1, Other)) {
+      setBit(N1, Other);
+      Adj[N1].push_back(Other);
+      AO.push_back(N1);
     }
   }
   Adj[N2].clear();
   B.Alive = false;
   B.VRegs.clear();
+  --NumAlive;
   return N1;
 }
 
 void InterferenceGraph::renameReg(Reg OldReg, Reg NewReg) {
-  auto It = NodeOfReg.find(OldReg);
-  if (It == NodeOfReg.end())
+  int IdS = nodeOf(OldReg);
+  if (IdS < 0)
     return;
-  unsigned Id = It->second;
-  NodeOfReg.erase(It);
-  assert(!NodeOfReg.count(NewReg) && "rename target already present");
-  NodeOfReg[NewReg] = Id;
+  unsigned Id = static_cast<unsigned>(IdS);
+  NodeOfReg[OldReg] = -1;
+  assert(nodeOf(NewReg) < 0 && "rename target already present");
+  mapReg(NewReg, Id);
   auto &VR = Nodes[Id].VRegs;
   *std::find(VR.begin(), VR.end(), OldReg) = NewReg;
   std::sort(VR.begin(), VR.end());
@@ -92,21 +98,15 @@ void InterferenceGraph::renameReg(Reg OldReg, Reg NewReg) {
 
 void InterferenceGraph::addRegToNode(unsigned Id, Reg R) {
   assert(Nodes[Id].Alive && "adding register to a dead node");
-  assert(!NodeOfReg.count(R) && "register already present in the graph");
+  assert(nodeOf(R) < 0 && "register already present in the graph");
   Nodes[Id].VRegs.push_back(R);
   std::sort(Nodes[Id].VRegs.begin(), Nodes[Id].VRegs.end());
-  NodeOfReg[R] = Id;
-}
-
-unsigned InterferenceGraph::numAliveNodes() const {
-  unsigned N = 0;
-  for (const Node &Nd : Nodes)
-    N += Nd.Alive;
-  return N;
+  mapReg(R, Id);
 }
 
 std::vector<unsigned> InterferenceGraph::aliveNodes() const {
   std::vector<unsigned> Out;
+  Out.reserve(NumAlive);
   for (unsigned I = 0, E = static_cast<unsigned>(Nodes.size()); I != E; ++I)
     if (Nodes[I].Alive)
       Out.push_back(I);
@@ -115,15 +115,22 @@ std::vector<unsigned> InterferenceGraph::aliveNodes() const {
 
 unsigned InterferenceGraph::effectiveDegree(unsigned Id) const {
   assert(Nodes[Id].Alive && "degree of a dead node");
-  unsigned Deg = 0;
-  for (unsigned Other : Adj[Id])
-    Deg += Nodes[Other].Alive;
+  // Adjacency lists only ever name alive nodes (see class comment).
+  unsigned Deg = static_cast<unsigned>(Adj[Id].size());
   if (Nodes[Id].Global) {
     for (unsigned I = 0, E = static_cast<unsigned>(Nodes.size()); I != E; ++I)
-      if (I != Id && Nodes[I].Alive && Nodes[I].Global && !Adj[Id].count(I))
+      if (I != Id && Nodes[I].Alive && Nodes[I].Global && !testBit(Id, I))
         ++Deg;
   }
   return Deg;
+}
+
+size_t InterferenceGraph::memoryBytes() const {
+  size_t Bytes = TriWords.capacity() * sizeof(uint64_t) +
+                 NodeOfReg.capacity() * sizeof(int);
+  for (const auto &A : Adj)
+    Bytes += A.capacity() * sizeof(unsigned);
+  return Bytes;
 }
 
 InterferenceGraph InterferenceGraph::combinedByColor() const {
@@ -139,7 +146,7 @@ InterferenceGraph InterferenceGraph::combinedByColor() const {
       unsigned NewId = Out.getOrCreateNode(N.VRegs.front());
       for (size_t V = 1; V < N.VRegs.size(); ++V) {
         Out.Nodes[NewId].VRegs.push_back(N.VRegs[V]);
-        Out.NodeOfReg[N.VRegs[V]] = NewId;
+        Out.mapReg(N.VRegs[V], NewId);
       }
       Out.Nodes[NewId].Global = N.Global;
       Out.Nodes[NewId].Color = N.Color;
@@ -148,7 +155,7 @@ InterferenceGraph InterferenceGraph::combinedByColor() const {
       unsigned Tgt = It->second;
       for (Reg R : N.VRegs) {
         Out.Nodes[Tgt].VRegs.push_back(R);
-        Out.NodeOfReg[R] = Tgt;
+        Out.mapReg(R, Tgt);
       }
       Out.Nodes[Tgt].Global = Out.Nodes[Tgt].Global || N.Global;
     }
@@ -160,7 +167,7 @@ InterferenceGraph InterferenceGraph::combinedByColor() const {
     if (!Nodes[I].Alive)
       continue;
     for (unsigned J : Adj[I]) {
-      if (J < I || !Nodes[J].Alive)
+      if (J < I)
         continue;
       unsigned A = NodeOfColor.at(Nodes[I].Color);
       unsigned B = NodeOfColor.at(Nodes[J].Color);
@@ -186,9 +193,10 @@ std::string InterferenceGraph::str() const {
     if (N.Color >= 0)
       OS << " color=" << N.Color;
     OS << " cost=" << N.SpillCost << " ->";
-    for (unsigned A : Adj[I])
-      if (Nodes[A].Alive)
-        OS << " n" << A;
+    std::vector<unsigned> Sorted = Adj[I];
+    std::sort(Sorted.begin(), Sorted.end());
+    for (unsigned A : Sorted)
+      OS << " n" << A;
     OS << "\n";
   }
   return OS.str();

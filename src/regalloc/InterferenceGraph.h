@@ -17,6 +17,13 @@
 /// effective degree (used to prioritize spills) and as a hard constraint in
 /// color assignment.
 ///
+/// Representation (see DESIGN.md "Performance architecture"): edge presence
+/// lives in a lower-triangular bit matrix for O(1) interfere(); per-node
+/// flat adjacency vectors (deduplicated against the matrix, alive neighbors
+/// only) serve iteration; and the reg -> node map is a dense Reg-indexed
+/// vector. Node ids are never reused, and only mergeNodes removes edges (the
+/// dead node's), so adjacency vectors only ever name alive nodes.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RAP_REGALLOC_INTERFERENCEGRAPH_H
@@ -24,8 +31,7 @@
 
 #include "ir/Instr.h"
 
-#include <map>
-#include <set>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -49,7 +55,9 @@ public:
   unsigned getOrCreateNode(Reg R);
 
   /// Returns the node containing \p R or -1.
-  int nodeOf(Reg R) const;
+  int nodeOf(Reg R) const {
+    return R < NodeOfReg.size() ? NodeOfReg[R] : -1;
+  }
 
   bool hasReg(Reg R) const { return nodeOf(R) >= 0; }
 
@@ -78,16 +86,20 @@ public:
   unsigned numNodesTotal() const {
     return static_cast<unsigned>(Nodes.size());
   }
-  unsigned numAliveNodes() const;
+  unsigned numAliveNodes() const { return NumAlive; }
   std::vector<unsigned> aliveNodes() const;
 
   Node &node(unsigned Id) { return Nodes[Id]; }
   const Node &node(unsigned Id) const { return Nodes[Id]; }
 
-  const std::set<unsigned> &adjacency(unsigned Id) const { return Adj[Id]; }
+  /// The alive neighbors of \p Id, deduplicated, in edge insertion order
+  /// (deterministic, not sorted).
+  const std::vector<unsigned> &adjacency(unsigned Id) const {
+    return Adj[Id];
+  }
 
   bool interfere(unsigned N1, unsigned N2) const {
-    return Adj[N1].count(N2) != 0;
+    return N1 != N2 && testBit(N1, N2);
   }
 
   /// Number of alive neighbors plus, for a global node, the number of alive
@@ -105,12 +117,43 @@ public:
   /// alive nodes must be colored.
   InterferenceGraph combinedByColor() const;
 
+  /// Heap bytes held by the adjacency structures (bit matrix plus adjacency
+  /// vectors) — the space side of the paper's time/space trade-off.
+  size_t memoryBytes() const;
+
   std::string str() const;
 
 private:
+  /// Index of the (\p N1, \p N2) pair in the lower-triangular matrix;
+  /// requires N1 != N2.
+  static size_t triIndex(unsigned N1, unsigned N2) {
+    unsigned Hi = N1 > N2 ? N1 : N2;
+    unsigned Lo = N1 > N2 ? N2 : N1;
+    return static_cast<size_t>(Hi) * (Hi - 1) / 2 + Lo;
+  }
+  bool testBit(unsigned N1, unsigned N2) const {
+    size_t I = triIndex(N1, N2);
+    return (TriWords[I / 64] >> (I % 64)) & 1;
+  }
+  void setBit(unsigned N1, unsigned N2) {
+    size_t I = triIndex(N1, N2);
+    TriWords[I / 64] |= uint64_t(1) << (I % 64);
+  }
+  void clearBit(unsigned N1, unsigned N2) {
+    size_t I = triIndex(N1, N2);
+    TriWords[I / 64] &= ~(uint64_t(1) << (I % 64));
+  }
+  void mapReg(Reg R, unsigned Id);
+
   std::vector<Node> Nodes;
-  std::vector<std::set<unsigned>> Adj;
-  std::map<Reg, unsigned> NodeOfReg;
+  /// Alive-neighbor lists, kept duplicate-free via the bit matrix.
+  std::vector<std::vector<unsigned>> Adj;
+  /// Lower-triangular edge matrix over node ids: bit (i,j), i > j, at index
+  /// i*(i-1)/2 + j. Sized for Nodes.size() nodes.
+  std::vector<uint64_t> TriWords;
+  /// Dense reg -> node id map; -1 = not in the graph.
+  std::vector<int> NodeOfReg;
+  unsigned NumAlive = 0;
 };
 
 } // namespace rap

@@ -16,10 +16,19 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
 using namespace rap;
+
+namespace {
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+} // namespace
 
 namespace {
 constexpr double LocalOrSpilledCost = 999999.0; // paper Figure 5
@@ -34,7 +43,10 @@ RapAllocator::RapAllocator(IlocFunction &F, const AllocOptions &Options)
 }
 
 void RapAllocator::refresh() {
-  CI = std::make_unique<CodeInfo>(F);
+  // Hand the stale CodeInfo to the new one so liveness warm-starts from the
+  // previous block solution (exact; see Liveness).
+  CI = std::make_unique<CodeInfo>(F, CI.get());
+  Stats.LivenessSeconds += CI->LivenessSeconds;
   Refs = std::make_unique<RefInfo>(CI->Code, F.numVRegs());
 }
 
@@ -61,25 +73,28 @@ InterferenceGraph RapAllocator::buildRegionGraph(PdgNode *V) {
   InterferenceGraph G;
 
   std::vector<Instr *> PC = V->parentCode();
-  std::set<Reg> RefsPC;
+  // Membership tests run inside the per-liveness-bit loop below, so keep
+  // the reference sets as bit vectors; the sorted lists reproduce the
+  // ascending iteration order node creation depends on.
+  unsigned NumVRegs = F.numVRegs();
+  BitVector RefsPC(NumVRegs);
   for (const Instr *I : PC) {
     for (Reg R : I->Src)
-      RefsPC.insert(R);
+      RefsPC.set(R);
     if (I->hasDef())
-      RefsPC.insert(I->Dst);
+      RefsPC.set(I->Dst);
   }
 
-  std::set<Reg> Vars = RefsPC;
+  BitVector Vars = RefsPC; // parent code is part of the subtree walk below
   V->forEachInstr([&](Instr *I) {
     for (Reg R : I->Src)
-      Vars.insert(R);
+      Vars.set(R);
     if (I->hasDef())
-      Vars.insert(I->Dst);
+      Vars.set(I->Dst);
   });
 
   //--- add_region_conflicts -----------------------------------------------
-  for (Reg R : RefsPC)
-    G.getOrCreateNode(R);
+  RefsPC.forEach([&](unsigned R) { G.getOrCreateNode(R); });
 
   // Definition points: the defined register interferes with every register
   // that is live after the instruction (minus the source of a copy). Live
@@ -91,7 +106,7 @@ InterferenceGraph RapAllocator::buildRegionGraph(PdgNode *V) {
       continue;
     Reg D = I->Dst;
     CI->Live.liveAfter(I->LinPos).forEach([&](unsigned L) {
-      if (L == D || !Vars.count(L))
+      if (L == D || !Vars.test(L))
         return;
       if (I->Op == Opcode::Mv && L == I->Src[0])
         return;
@@ -103,9 +118,10 @@ InterferenceGraph RapAllocator::buildRegionGraph(PdgNode *V) {
   // Registers live on entrance to the region and referenced here coexist.
   const BitVector &LiveInV = CI->Live.liveInOf(*V);
   std::vector<Reg> LiveRefs;
-  for (Reg R : RefsPC)
+  RefsPC.forEach([&](unsigned R) {
     if (LiveInV.test(R))
       LiveRefs.push_back(R);
+  });
   for (size_t A = 0; A != LiveRefs.size(); ++A)
     for (size_t B = A + 1; B != LiveRefs.size(); ++B)
       G.addEdge(LiveRefs[A], LiveRefs[B]);
@@ -114,13 +130,13 @@ InterferenceGraph RapAllocator::buildRegionGraph(PdgNode *V) {
   // Live-in registers not referenced at this level conflict with every node
   // referenced here (Figure 3's virtual register d).
   std::vector<unsigned> PreNodes = G.aliveNodes();
-  for (Reg VK : Vars) {
-    if (RefsPC.count(VK) || !LiveInV.test(VK))
-      continue;
+  Vars.forEach([&](unsigned VK) {
+    if (RefsPC.test(VK) || !LiveInV.test(VK))
+      return;
     unsigned N = G.getOrCreateNode(VK);
     for (unsigned M : PreNodes)
       G.addEdgeNodes(N, M);
-  }
+  });
 
   for (PdgNode *S : V->subregions()) {
     auto GSIt = SavedGraphs.find(S);
@@ -157,21 +173,21 @@ InterferenceGraph RapAllocator::buildRegionGraph(PdgNode *V) {
     }
     for (unsigned NS : GS.aliveNodes())
       for (unsigned MS : GS.adjacency(NS))
-        if (GS.node(MS).Alive && MS > NS)
+        if (MS > NS)
           G.addEdgeNodes(Imported.at(NS), Imported.at(MS));
 
     // Registers live across (but unreferenced in) the subregion conflict
     // with everything allocated inside it.
     const BitVector &LiveInS = CI->Live.liveInOf(*S);
-    for (Reg VK : Vars) {
-      if (Refs->referencedWithin(VK, S->LinBegin, S->LinEnd))
-        continue;
+    Vars.forEach([&](unsigned VK) {
       if (VK >= LiveInS.size() || !LiveInS.test(VK))
-        continue;
+        return;
+      if (Refs->referencedWithin(VK, S->LinBegin, S->LinEnd))
+        return;
       unsigned N = G.getOrCreateNode(VK);
       for (auto &[NS, NG] : Imported)
         G.addEdgeNodes(N, NG);
-    }
+    });
   }
 
   // Pieces of one split register represent the same virtual register
@@ -257,9 +273,9 @@ void RapAllocator::calcSpillCosts(PdgNode *V, InterferenceGraph &G) {
 
   // Positions covered by parent-level code, for counting uses and defs "in
   // the parent region".
-  std::set<unsigned> PCPos;
+  BitVector PCPos(static_cast<unsigned>(CI->Code.Instrs.size()));
   for (const Instr *I : PC)
-    PCPos.insert(I->LinPos);
+    PCPos.set(I->LinPos);
 
   const std::set<Reg> &Spilled = SpilledIn[V];
 
@@ -302,9 +318,9 @@ void RapAllocator::calcSpillCosts(PdgNode *V, InterferenceGraph &G) {
     double Cost = 0;
     for (Reg R : Node.VRegs) {
       for (unsigned P : Refs->usePositions(R))
-        Cost += PCPos.count(P);
+        Cost += PCPos.test(P);
       for (unsigned P : Refs->defPositions(R))
-        Cost += PCPos.count(P);
+        Cost += PCPos.test(P);
     }
 
     // Boundary loads/stores for subregions (Figure 5's Livein/Liveout
@@ -337,9 +353,12 @@ InterferenceGraph RapAllocator::allocRegion(PdgNode *V) {
     allocRegion(S);
 
   for (unsigned Round = 0; Round != MaxRoundsPerRegion; ++Round) {
+    auto BuildStart = std::chrono::steady_clock::now();
     InterferenceGraph G = buildRegionGraph(V);
+    Stats.GraphBuildSeconds += secondsSince(BuildStart);
     ++Stats.GraphBuilds;
     Stats.MaxGraphNodes = std::max(Stats.MaxGraphNodes, G.numAliveNodes());
+    Stats.PeakGraphBytes = std::max(Stats.PeakGraphBytes, G.memoryBytes());
     calcSpillCosts(V, G);
     ColorResult CR = colorGraph(G, Options.K);
     if (std::getenv("RAP_DEBUG")) {
@@ -403,10 +422,18 @@ void RapAllocator::spillQueueRun(std::vector<std::pair<Reg, PdgNode *>> Queue) {
       std::fprintf(stderr, "RAP: spill storm in '%s'\n", F.name().c_str());
       std::abort();
     }
+    // Spill rewrites edit only the spilled register's references (plus
+    // fresh temporaries that never re-enter this queue), so the analysis
+    // snapshot stays exact for every other register. Refresh lazily: only
+    // when this entry's register was itself edited since the snapshot.
+    if (EditedSinceRefresh.count(V)) {
+      refresh();
+      EditedSinceRefresh.clear();
+    }
     std::vector<std::pair<Reg, PdgNode *>> Deferred;
     bool Changed = trySpill(V, R, Deferred);
     if (Changed) {
-      refresh();
+      EditedSinceRefresh.insert(V);
       // Note: spillEverywhere and the outside-the-region fixups only insert
       // code that references the spilled register itself, which existing
       // summaries already contain (its ranges only shrink), so they never
@@ -423,6 +450,13 @@ void RapAllocator::spillQueueRun(std::vector<std::pair<Reg, PdgNode *>> Queue) {
     }
     for (auto &D : Deferred)
       Queue.push_back(D);
+  }
+
+  // The loop above may leave the snapshot stale; callers (the allocRegion
+  // coloring loop and the dirty re-allocation below) need a fresh one.
+  if (!EditedSinceRefresh.empty()) {
+    refresh();
+    EditedSinceRefresh.clear();
   }
 
   // Keep only the outermost dirty regions; re-allocating them rebuilds
@@ -504,17 +538,18 @@ bool RapAllocator::trySpill(Reg V, PdgNode *R,
   // reached by definitions inside R must reload it, and definitions
   // reaching those reloaded uses must store as well (the paper's
   // recursion, collapsed to its one-step fixpoint).
-  DataDependence DD(CI->Code, CI->Graph, F.numVRegs());
+  std::vector<FlowDep> VDeps =
+      DataDependence::flowDepsFor(CI->Code, CI->Graph, V);
   auto InsideR = [&](unsigned Pos) {
     return Pos >= R->LinBegin && Pos < R->LinEnd;
   };
   std::set<unsigned> LoadedUses;  // positions outside R
-  for (const FlowDep &D : DD.flowDeps())
-    if (D.R == V && InsideR(D.DefPos) && !InsideR(D.UsePos))
+  for (const FlowDep &D : VDeps)
+    if (InsideR(D.DefPos) && !InsideR(D.UsePos))
       LoadedUses.insert(D.UsePos);
   std::set<unsigned> StoredDefs; // positions outside R
-  for (const FlowDep &D : DD.flowDeps()) {
-    if (D.R != V || InsideR(D.DefPos))
+  for (const FlowDep &D : VDeps) {
+    if (InsideR(D.DefPos))
       continue;
     if (InsideR(D.UsePos) || LoadedUses.count(D.UsePos))
       StoredDefs.insert(D.DefPos);

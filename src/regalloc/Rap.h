@@ -121,6 +121,13 @@ private:
   std::set<Reg> GloballySpilled;
   std::set<Reg> ParamStoreDone;
 
+  /// Registers whose references were edited since the last refresh(). Spill
+  /// rewrites touch only the spilled register and fresh no-spill
+  /// temporaries, so the CodeInfo/RefInfo snapshot remains valid for every
+  /// other register; the spill queue refreshes lazily, only when the entry
+  /// being processed names an edited register.
+  std::set<Reg> EditedSinceRefresh;
+
   /// The function-entry stores that park spilled parameters. They must read
   /// the incoming register itself, so later spill rewrites of the same
   /// parameter skip them.

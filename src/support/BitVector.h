@@ -36,6 +36,25 @@ public:
 
   unsigned size() const { return NumBits; }
 
+  /// Extends the universe to [0, NewNumBits), keeping existing bits. The
+  /// new elements start absent. No-op when the universe is already at least
+  /// that large.
+  void growTo(unsigned NewNumBits) {
+    if (NewNumBits <= NumBits)
+      return;
+    NumBits = NewNumBits;
+    Words.resize((NumBits + 63) / 64, 0);
+  }
+
+  /// Re-shapes this set to an empty set over [0, NewNumBits), reusing the
+  /// existing word storage when it is large enough. Lets dataflow code
+  /// recycle per-position sets across recomputations instead of
+  /// reallocating them.
+  void resetUniverse(unsigned NewNumBits) {
+    NumBits = NewNumBits;
+    Words.assign((NumBits + 63) / 64, 0);
+  }
+
   bool test(unsigned Idx) const {
     assert(Idx < NumBits && "BitVector index out of range");
     return (Words[Idx / 64] >> (Idx % 64)) & 1;
@@ -106,6 +125,22 @@ public:
       Changed |= Words[I] != Old;
     }
     return Changed;
+  }
+
+  /// Accumulates the symmetric difference of \p A and \p B into this set
+  /// (this |= A ^ B). \p B may come from a smaller universe (its missing
+  /// elements count as absent) — incremental liveness diffs new block sets
+  /// against a previous solution whose register universe was smaller. Used
+  /// to collect the registers whose block-level use/def sets changed
+  /// between two liveness computations.
+  void unionWithXorOf(const BitVector &A, const BitVector &B) {
+    assert(NumBits == A.NumBits && A.NumBits >= B.NumBits &&
+           "universe size mismatch");
+    size_t Shared = B.Words.size();
+    for (size_t I = 0; I != Shared; ++I)
+      Words[I] |= A.Words[I] ^ B.Words[I];
+    for (size_t I = Shared, E = Words.size(); I != E; ++I)
+      Words[I] |= A.Words[I];
   }
 
   /// Returns true if this set and \p Other share at least one element.
