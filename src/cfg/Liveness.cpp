@@ -6,14 +6,15 @@
 
 #include "cfg/Liveness.h"
 
+#include "support/Env.h"
+
 #include <cassert>
-#include <cstdlib>
 
 using namespace rap;
 
 namespace {
 bool verifyLivenessEnv() {
-  static const bool V = std::getenv("RAP_VERIFY_LIVENESS") != nullptr;
+  static const bool V = env::flag("RAP_VERIFY_LIVENESS");
   return V;
 }
 } // namespace

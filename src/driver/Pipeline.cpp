@@ -28,8 +28,21 @@ CompileResult rap::compileMiniC(const std::string &Source,
     return Res;
   }
   Res.Prog = lowerToIloc(TU, Options.Granularity, Options.Copies);
-  Res.Alloc =
-      allocateProgram(*Res.Prog, Options.Allocator, Options.Alloc);
+  try {
+    ProgramAllocResult AR =
+        allocateProgramChecked(*Res.Prog, Options.Allocator, Options.Alloc);
+    Res.Alloc = AR.Total;
+    // Fallbacks keep the program correct and runnable; report them as
+    // diagnostics without failing the compile. (Summarize before moving the
+    // outcomes out of AR.)
+    Res.Errors += AR.summary();
+    Res.AllocOutcomes = std::move(AR.Outcomes);
+  } catch (const AllocError &E) {
+    // Strict mode (no fallback): allocation failure fails the compile with
+    // a structured diagnostic instead of crashing the process.
+    Res.Errors += std::string("allocation failed: ") + E.what() + "\n";
+    Res.Prog.reset();
+  }
   return Res;
 }
 

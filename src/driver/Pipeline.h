@@ -36,10 +36,24 @@ struct CompileOptions {
 
 struct CompileResult {
   std::unique_ptr<IlocProgram> Prog;
-  AllocStats Alloc;   ///< aggregated over all functions
-  std::string Errors; ///< diagnostics when compilation failed
+  AllocStats Alloc; ///< aggregated over all functions
+
+  /// Per-function allocation outcomes (empty until allocation runs). With
+  /// Alloc.FallbackOnError, degraded functions show up here with
+  /// Status == Fallback while the program as a whole stays runnable; their
+  /// summary is also appended to Errors, so callers that only look at
+  /// Errors still see the degradation.
+  std::vector<AllocOutcome> AllocOutcomes;
+
+  std::string Errors; ///< diagnostics when compilation failed or degraded
 
   bool ok() const { return Prog != nullptr; }
+  bool degraded() const {
+    for (const AllocOutcome &O : AllocOutcomes)
+      if (O.degraded())
+        return true;
+    return false;
+  }
 };
 
 /// Compiles MiniC source and (optionally) allocates registers.

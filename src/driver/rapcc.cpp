@@ -15,10 +15,19 @@
 ///     --granularity=stmt|merged region granularity (default stmt)
 ///     --copies=naive|direct     assignment codegen style (default naive)
 ///     --no-movement --no-peephole --no-cleanup   disable RAP phases
+///     --threads=N               allocate functions on N worker threads
+///     --verify                  checked mode: independently verify every
+///                               register assignment before the rewrite
+///     --no-fallback             fail the compile on allocation errors
+///                               instead of degrading the function to the
+///                               spill-everything fallback
 ///     --dump=iloc|tree|dot|cfg  print an artifact instead of running
 ///     --func=NAME               which function to dump (default main)
 ///     --stats                   print allocation statistics
 ///     --run (default)           execute main() and print result + counters
+///
+/// Exit codes: 0 success, 1 compile/run failure, 2 usage error, 3 success
+/// but at least one function degraded to the spill-everything fallback.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -43,6 +52,7 @@ void usage() {
       "usage: rapcc <file.mc> [--alloc=none|gra|rap] [-k N]\n"
       "             [--granularity=stmt|merged] [--copies=naive|direct]\n"
       "             [--no-movement] [--no-peephole] [--no-cleanup]\n"
+      "             [--threads=N] [--verify] [--no-fallback]\n"
       "             [--dump=iloc|tree|dot|cfg] [--func=NAME] [--stats]\n");
 }
 
@@ -64,6 +74,10 @@ int main(int argc, char **argv) {
   bool Stats = false;
   CompileOptions Opts;
   Opts.Allocator = AllocatorKind::Rap;
+  // The CLI favors producing *a* correct program: allocation errors degrade
+  // the affected function to the spill-everything fallback (and exit 3)
+  // unless --no-fallback asks for a hard failure.
+  Opts.Alloc.FallbackOnError = true;
 
   for (int I = 1; I != argc; ++I) {
     const char *Arg = argv[I];
@@ -106,6 +120,16 @@ int main(int argc, char **argv) {
       Opts.Alloc.Peephole = false;
     } else if (std::strcmp(Arg, "--no-cleanup") == 0) {
       Opts.Alloc.GlobalCleanup = false;
+    } else if (startsWith(Arg, "--threads=")) {
+      Opts.Alloc.Threads = static_cast<unsigned>(std::atoi(Arg + 10));
+      if (Opts.Alloc.Threads == 0) {
+        std::fprintf(stderr, "rapcc: --threads needs a positive count\n");
+        return 2;
+      }
+    } else if (std::strcmp(Arg, "--verify") == 0) {
+      Opts.Alloc.VerifyAssignments = true;
+    } else if (std::strcmp(Arg, "--no-fallback") == 0) {
+      Opts.Alloc.FallbackOnError = false;
     } else if (startsWith(Arg, "--dump=")) {
       Dump = Arg + 7;
     } else if (startsWith(Arg, "--func=")) {
@@ -140,6 +164,14 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "%s", CR.Errors.c_str());
     return 1;
   }
+  // Per-function degradation summary: the program below is still correct,
+  // but some function lost its optimized allocation.
+  bool Degraded = CR.degraded();
+  for (const AllocOutcome &O : CR.AllocOutcomes)
+    if (O.degraded())
+      std::fprintf(stderr,
+                   "rapcc: '%s' degraded to spill-everything fallback: %s\n",
+                   O.Function.c_str(), O.Error.c_str());
 
   if (Stats) {
     std::fprintf(stderr,
@@ -175,7 +207,7 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "rapcc: unknown dump kind '%s'\n", Dump.c_str());
       return 2;
     }
-    return 0;
+    return Degraded ? 3 : 0;
   }
 
   Interpreter Interp(*CR.Prog);
@@ -194,5 +226,5 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(R.Stats.SpillStores),
               static_cast<unsigned long long>(R.Stats.Copies),
               static_cast<unsigned long long>(R.Stats.Calls));
-  return 0;
+  return Degraded ? 3 : 0;
 }

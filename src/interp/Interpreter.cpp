@@ -13,6 +13,38 @@
 
 using namespace rap;
 
+namespace {
+
+// MiniC integers are a 64-bit two's-complement machine word: arithmetic
+// wraps on overflow. Computing through uint64_t keeps that wraparound
+// well-defined (signed overflow is UB and aborts sanitized builds).
+int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+// INT64_MIN / -1 (and % -1) is the one overflowing division; it traps on
+// x86, so define it to the wrapped quotient INT64_MIN (remainder 0).
+int64_t wrapDiv(int64_t A, int64_t B) {
+  if (B == -1)
+    return wrapSub(0, A);
+  return A / B;
+}
+int64_t wrapMod(int64_t A, int64_t B) {
+  if (B == -1)
+    return 0;
+  return A % B;
+}
+
+} // namespace
+
 Interpreter::Interpreter(const IlocProgram &Prog) : Prog(Prog) {
   Funcs.reserve(Prog.functions().size());
   for (const auto &F : Prog.functions()) {
@@ -117,26 +149,26 @@ RunResult Interpreter::run(const std::string &Entry, uint64_t Fuel) {
       Fr.Regs[I->Dst] = R(0);
       break;
     case Opcode::Add:
-      Fr.Regs[I->Dst] = RtValue::makeInt(R(0).asInt() + R(1).asInt());
+      Fr.Regs[I->Dst] = RtValue::makeInt(wrapAdd(R(0).asInt(), R(1).asInt()));
       break;
     case Opcode::Sub:
-      Fr.Regs[I->Dst] = RtValue::makeInt(R(0).asInt() - R(1).asInt());
+      Fr.Regs[I->Dst] = RtValue::makeInt(wrapSub(R(0).asInt(), R(1).asInt()));
       break;
     case Opcode::Mul:
-      Fr.Regs[I->Dst] = RtValue::makeInt(R(0).asInt() * R(1).asInt());
+      Fr.Regs[I->Dst] = RtValue::makeInt(wrapMul(R(0).asInt(), R(1).asInt()));
       break;
     case Opcode::Div:
       if (R(1).asInt() == 0)
         return Fail(I, "integer division by zero");
-      Fr.Regs[I->Dst] = RtValue::makeInt(R(0).asInt() / R(1).asInt());
+      Fr.Regs[I->Dst] = RtValue::makeInt(wrapDiv(R(0).asInt(), R(1).asInt()));
       break;
     case Opcode::Mod:
       if (R(1).asInt() == 0)
         return Fail(I, "integer modulo by zero");
-      Fr.Regs[I->Dst] = RtValue::makeInt(R(0).asInt() % R(1).asInt());
+      Fr.Regs[I->Dst] = RtValue::makeInt(wrapMod(R(0).asInt(), R(1).asInt()));
       break;
     case Opcode::Neg:
-      Fr.Regs[I->Dst] = RtValue::makeInt(-R(0).asInt());
+      Fr.Regs[I->Dst] = RtValue::makeInt(wrapSub(0, R(0).asInt()));
       break;
     case Opcode::And:
       Fr.Regs[I->Dst] =

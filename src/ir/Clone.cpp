@@ -1,0 +1,89 @@
+//===- ir/Clone.cpp - Deep function cloning ---------------------------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Clone.h"
+
+namespace rap {
+namespace {
+
+class Cloner {
+public:
+  explicit Cloner(const IlocFunction &F)
+      : Src(F), Out(std::make_unique<IlocFunction>(F.name())) {
+    Out->setNumParams(F.numParams());
+    Out->setReturnType(F.returnType());
+    while (Out->numVRegs() < F.numVRegs())
+      Out->newVReg();
+    while (Out->numLabels() < F.numLabels())
+      Out->newLabel();
+    while (Out->numSpillSlots() < F.numSpillSlots())
+      Out->newSpillSlot();
+  }
+
+  std::unique_ptr<IlocFunction> run() {
+    Out->setRoot(cloneNode(Src.root(), nullptr));
+    if (Src.isAllocated()) {
+      std::vector<Reg> ParamRegs;
+      for (unsigned P = 0; P != Src.numParams(); ++P)
+        ParamRegs.push_back(Src.paramReg(P));
+      Out->setParamRegs(std::move(ParamRegs));
+      Out->setAllocated(Src.numPhysRegs());
+    }
+    return std::move(Out);
+  }
+
+private:
+  Instr *cloneInstr(const Instr *I) {
+    if (!I)
+      return nullptr;
+    Instr *N = Out->createInstr(I->Op);
+    N->Dst = I->Dst;
+    N->Src = I->Src;
+    N->Imm = I->Imm;
+    N->Slot = I->Slot;
+    N->Addr = I->Addr;
+    N->Label0 = I->Label0;
+    N->Label1 = I->Label1;
+    N->Callee = I->Callee;
+    N->LinPos = I->LinPos;
+    return N;
+  }
+
+  PdgNode *cloneNode(const PdgNode *N, PdgNode *Parent) {
+    if (!N)
+      return nullptr;
+    PdgNode *C = Out->createNode(N->kind());
+    C->Parent = Parent;
+    C->IsLoop = N->IsLoop;
+    C->TrueLabel = N->TrueLabel;
+    C->FalseLabel = N->FalseLabel;
+    C->JoinLabel = N->JoinLabel;
+    C->LinBegin = N->LinBegin;
+    C->LinEnd = N->LinEnd;
+    C->Code.reserve(N->Code.size());
+    for (const Instr *I : N->Code)
+      C->Code.push_back(cloneInstr(I));
+    C->Branch = cloneInstr(N->Branch);
+    C->Jump = cloneInstr(N->Jump);
+    C->TrueRegion = cloneNode(N->TrueRegion, C);
+    C->FalseRegion = cloneNode(N->FalseRegion, C);
+    C->Children.reserve(N->Children.size());
+    for (const PdgNode *Child : N->Children)
+      C->Children.push_back(cloneNode(Child, C));
+    return C;
+  }
+
+  const IlocFunction &Src;
+  std::unique_ptr<IlocFunction> Out;
+};
+
+} // namespace
+
+std::unique_ptr<IlocFunction> cloneFunction(const IlocFunction &F) {
+  return Cloner(F).run();
+}
+
+} // namespace rap

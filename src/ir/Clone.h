@@ -1,0 +1,37 @@
+//===- ir/Clone.h - Deep function cloning -----------------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep-copies an IlocFunction: fresh instruction and node arenas, an
+/// isomorphic region tree, and identical register/label/spill-slot
+/// namespaces. The clone is behaviorally indistinguishable from the
+/// original (same linearized code text, same allocation decisions), which
+/// is what lets the fault-isolated driver snapshot a function before a
+/// risky allocation attempt and restore the pristine body for the
+/// spill-everything fallback.
+///
+/// Instruction and node ids are renumbered in tree order; nothing
+/// downstream depends on the specific id values (CodeEditor rebuilds its
+/// owner map per function, analyses key on position or pointer identity).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_IR_CLONE_H
+#define RAP_IR_CLONE_H
+
+#include "ir/IlocFunction.h"
+
+#include <memory>
+
+namespace rap {
+
+/// Returns a deep copy of \p F. Callee indices of Call instructions are
+/// preserved verbatim (they index the owning program's function table).
+std::unique_ptr<IlocFunction> cloneFunction(const IlocFunction &F);
+
+} // namespace rap
+
+#endif // RAP_IR_CLONE_H

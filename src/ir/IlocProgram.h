@@ -57,6 +57,16 @@ public:
     return std::move(Functions);
   }
 
+  /// Swaps function \p Id for \p F (same id, callers keep their Callee
+  /// indices) and returns the new pointer. Used by the fault-isolated
+  /// allocation driver to restore a pristine clone before falling back;
+  /// safe to call concurrently for *distinct* ids (the vector itself is not
+  /// resized).
+  IlocFunction *replaceFunction(size_t Id, std::unique_ptr<IlocFunction> F) {
+    Functions[Id] = std::move(F);
+    return Functions[Id].get();
+  }
+
   int functionId(const IlocFunction *F) const {
     for (int I = 0, E = static_cast<int>(Functions.size()); I != E; ++I)
       if (Functions[I].get() == F)

@@ -1,0 +1,133 @@
+//===- regalloc/AllocOutcome.h - Per-function allocation results -*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured results of the fault-isolated allocation driver: per-function
+/// AllocStats (measurement counters), the AllocOutcome that records whether
+/// a function allocated cleanly, degraded to the spill-everything fallback,
+/// or failed hard, and the program-level aggregate. Outcomes are ordered by
+/// function position and independent of thread scheduling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_REGALLOC_ALLOCOUTCOME_H
+#define RAP_REGALLOC_ALLOCOUTCOME_H
+
+#include "regalloc/AllocError.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rap {
+
+/// Per-function allocation measurements.
+struct AllocStats {
+  unsigned GraphBuilds = 0;    ///< interference graphs constructed
+  unsigned SpilledVRegs = 0;   ///< virtual registers sent to memory
+  unsigned MaxGraphNodes = 0;  ///< largest interference graph (space claim)
+  unsigned RegionsProcessed = 0;
+  unsigned HoistedLoads = 0; ///< phase 2
+  unsigned SunkStores = 0;   ///< phase 2
+  unsigned PeepholeRemovedLoads = 0;
+  unsigned PeepholeRemovedStores = 0;
+  unsigned CleanupRemovedLoads = 0;  ///< dataflow extension
+  unsigned CleanupRemovedStores = 0; ///< dataflow extension
+  unsigned CopiesDeleted = 0; ///< mv rX, rX removed after assignment
+
+  //===------------------------------------------------------------------===//
+  // Cost instrumentation (excluded from determinism comparisons: wall time
+  // varies run to run; see structuralEq).
+  //===------------------------------------------------------------------===//
+  double GraphBuildSeconds = 0;  ///< time in interference construction
+  double LivenessSeconds = 0;    ///< time in liveness (re)computation
+  size_t PeakGraphBytes = 0;     ///< largest adjacency footprint seen
+
+  /// Field-by-field equality over the deterministic counters, ignoring the
+  /// timing instrumentation. Used by the parallel-driver determinism check.
+  bool structuralEq(const AllocStats &O) const {
+    return GraphBuilds == O.GraphBuilds && SpilledVRegs == O.SpilledVRegs &&
+           MaxGraphNodes == O.MaxGraphNodes &&
+           RegionsProcessed == O.RegionsProcessed &&
+           HoistedLoads == O.HoistedLoads && SunkStores == O.SunkStores &&
+           PeepholeRemovedLoads == O.PeepholeRemovedLoads &&
+           PeepholeRemovedStores == O.PeepholeRemovedStores &&
+           CleanupRemovedLoads == O.CleanupRemovedLoads &&
+           CleanupRemovedStores == O.CleanupRemovedStores &&
+           CopiesDeleted == O.CopiesDeleted &&
+           PeakGraphBytes == O.PeakGraphBytes;
+  }
+
+  void accumulate(const AllocStats &O) {
+    GraphBuilds += O.GraphBuilds;
+    SpilledVRegs += O.SpilledVRegs;
+    MaxGraphNodes = MaxGraphNodes > O.MaxGraphNodes ? MaxGraphNodes
+                                                    : O.MaxGraphNodes;
+    RegionsProcessed += O.RegionsProcessed;
+    HoistedLoads += O.HoistedLoads;
+    SunkStores += O.SunkStores;
+    PeepholeRemovedLoads += O.PeepholeRemovedLoads;
+    PeepholeRemovedStores += O.PeepholeRemovedStores;
+    CleanupRemovedLoads += O.CleanupRemovedLoads;
+    CleanupRemovedStores += O.CleanupRemovedStores;
+    CopiesDeleted += O.CopiesDeleted;
+    GraphBuildSeconds += O.GraphBuildSeconds;
+    LivenessSeconds += O.LivenessSeconds;
+    PeakGraphBytes = PeakGraphBytes > O.PeakGraphBytes ? PeakGraphBytes
+                                                       : O.PeakGraphBytes;
+  }
+};
+
+enum class AllocStatus {
+  Allocated, ///< the requested allocator succeeded
+  Fallback,  ///< it failed; the spill-everything fallback allocated instead
+  Failed,    ///< it failed and fallback was disabled (error rethrown)
+};
+
+/// What happened to one function's allocation.
+struct AllocOutcome {
+  std::string Function;
+  AllocStatus Status = AllocStatus::Allocated;
+  AllocStats Stats;
+
+  /// Failure details (meaningful for Fallback/Failed).
+  AllocErrorKind ErrorKind = AllocErrorKind::Internal;
+  std::string Error; ///< rendered AllocError text, empty when Allocated
+
+  bool degraded() const { return Status != AllocStatus::Allocated; }
+};
+
+/// allocateProgramChecked's aggregate: stats folded in function order plus
+/// one outcome per function (same order as IlocProgram::functions()).
+struct ProgramAllocResult {
+  AllocStats Total;
+  std::vector<AllocOutcome> Outcomes;
+
+  unsigned numFallbacks() const {
+    unsigned N = 0;
+    for (const AllocOutcome &O : Outcomes)
+      N += O.Status == AllocStatus::Fallback;
+    return N;
+  }
+  bool allClean() const { return numFallbacks() == 0; }
+
+  /// Human-readable per-function degradation report (empty when clean):
+  /// one "function: kind: message" line per degraded function.
+  std::string summary() const {
+    std::string Out;
+    for (const AllocOutcome &O : Outcomes) {
+      if (!O.degraded())
+        continue;
+      Out += O.Function + ": degraded to spill-everything fallback (" +
+             O.Error + ")\n";
+    }
+    return Out;
+  }
+};
+
+} // namespace rap
+
+#endif // RAP_REGALLOC_ALLOCOUTCOME_H

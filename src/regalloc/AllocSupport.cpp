@@ -6,6 +6,8 @@
 
 #include "regalloc/AllocSupport.h"
 
+#include "regalloc/AllocError.h"
+
 #include <algorithm>
 #include <cassert>
 #include <chrono>
@@ -105,8 +107,9 @@ void CodeEditor::refresh() {
 }
 
 CodeEditor::Owner CodeEditor::ownerOf(Instr *I) const {
-  assert(I->Id < Owners.size() && Owners[I->Id].N &&
-         "anchor instruction not found in region tree");
+  allocCheck(I->Id < Owners.size() && Owners[I->Id].N,
+             AllocErrorKind::InvariantViolation,
+             "anchor instruction not found in region tree");
   return Owners[I->Id];
 }
 
@@ -124,7 +127,8 @@ void CodeEditor::insertBefore(Instr *Anchor, Instr *NewI) {
     O.N->Code.push_back(NewI);
   } else {
     auto It = std::find(O.N->Code.begin(), O.N->Code.end(), Anchor);
-    assert(It != O.N->Code.end() && "owner map out of date");
+    allocCheck(It != O.N->Code.end(), AllocErrorKind::InvariantViolation,
+               "owner map out of date");
     O.N->Code.insert(It, NewI);
   }
   setOwner(NewI, Owner{O.N, false});
@@ -132,9 +136,11 @@ void CodeEditor::insertBefore(Instr *Anchor, Instr *NewI) {
 
 void CodeEditor::insertAfter(Instr *Anchor, Instr *NewI) {
   Owner O = ownerOf(Anchor);
-  assert(!O.IsBranch && "cannot insert after a branch");
+  allocCheck(!O.IsBranch, AllocErrorKind::InvariantViolation,
+             "cannot insert after a branch");
   auto It = std::find(O.N->Code.begin(), O.N->Code.end(), Anchor);
-  assert(It != O.N->Code.end() && "owner map out of date");
+  allocCheck(It != O.N->Code.end(), AllocErrorKind::InvariantViolation,
+             "owner map out of date");
   O.N->Code.insert(It + 1, NewI);
   setOwner(NewI, Owner{O.N, false});
 }

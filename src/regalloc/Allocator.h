@@ -18,6 +18,13 @@
 /// Both rewrite the function in place to use physical registers 0..k-1 and
 /// delete copies whose operands received the same register.
 ///
+/// Failures (invariant violations, resource-guard breaches, verifier
+/// rejections in checked mode, injected faults) surface as AllocError.
+/// allocateProgramChecked isolates them per function: with
+/// AllocOptions::FallbackOnError the failing function alone degrades to a
+/// guaranteed-correct spill-everything allocation (see SpillEverything.h)
+/// while every other function allocates normally.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RAP_REGALLOC_ALLOCATOR_H
@@ -25,6 +32,8 @@
 
 #include "ir/IlocFunction.h"
 #include "ir/IlocProgram.h"
+#include "regalloc/AllocOutcome.h"
+#include "regalloc/FaultInjection.h"
 
 #include <string>
 
@@ -62,73 +71,64 @@ struct AllocOptions {
   /// copies, applied by whichever allocator runs. Off for Table 1, which
   /// reproduces the paper's no-coalescing setup.
   bool Coalesce = false;
-};
-
-/// Per-function allocation measurements.
-struct AllocStats {
-  unsigned GraphBuilds = 0;    ///< interference graphs constructed
-  unsigned SpilledVRegs = 0;   ///< virtual registers sent to memory
-  unsigned MaxGraphNodes = 0;  ///< largest interference graph (space claim)
-  unsigned RegionsProcessed = 0;
-  unsigned HoistedLoads = 0; ///< phase 2
-  unsigned SunkStores = 0;   ///< phase 2
-  unsigned PeepholeRemovedLoads = 0;
-  unsigned PeepholeRemovedStores = 0;
-  unsigned CleanupRemovedLoads = 0;  ///< dataflow extension
-  unsigned CleanupRemovedStores = 0; ///< dataflow extension
-  unsigned CopiesDeleted = 0; ///< mv rX, rX removed after assignment
 
   //===------------------------------------------------------------------===//
-  // Cost instrumentation (excluded from determinism comparisons: wall time
-  // varies run to run; see structuralEq).
+  // Robustness controls (see DESIGN.md "Robustness architecture").
   //===------------------------------------------------------------------===//
-  double GraphBuildSeconds = 0;  ///< time in interference construction
-  double LivenessSeconds = 0;    ///< time in liveness (re)computation
-  size_t PeakGraphBytes = 0;     ///< largest adjacency footprint seen
 
-  /// Field-by-field equality over the deterministic counters, ignoring the
-  /// timing instrumentation. Used by the parallel-driver determinism check.
-  bool structuralEq(const AllocStats &O) const {
-    return GraphBuilds == O.GraphBuilds && SpilledVRegs == O.SpilledVRegs &&
-           MaxGraphNodes == O.MaxGraphNodes &&
-           RegionsProcessed == O.RegionsProcessed &&
-           HoistedLoads == O.HoistedLoads && SunkStores == O.SunkStores &&
-           PeepholeRemovedLoads == O.PeepholeRemovedLoads &&
-           PeepholeRemovedStores == O.PeepholeRemovedStores &&
-           CleanupRemovedLoads == O.CleanupRemovedLoads &&
-           CleanupRemovedStores == O.CleanupRemovedStores &&
-           CopiesDeleted == O.CopiesDeleted &&
-           PeakGraphBytes == O.PeakGraphBytes;
-  }
+  /// Spill/color round budget: per region for RAP, per function for GRA.
+  /// Exceeding it raises AllocError(NonConvergence) instead of looping.
+  unsigned MaxSpillRounds = 100;
 
-  void accumulate(const AllocStats &O) {
-    GraphBuilds += O.GraphBuilds;
-    SpilledVRegs += O.SpilledVRegs;
-    MaxGraphNodes = MaxGraphNodes > O.MaxGraphNodes ? MaxGraphNodes
-                                                    : O.MaxGraphNodes;
-    RegionsProcessed += O.RegionsProcessed;
-    HoistedLoads += O.HoistedLoads;
-    SunkStores += O.SunkStores;
-    PeepholeRemovedLoads += O.PeepholeRemovedLoads;
-    PeepholeRemovedStores += O.PeepholeRemovedStores;
-    CleanupRemovedLoads += O.CleanupRemovedLoads;
-    CleanupRemovedStores += O.CleanupRemovedStores;
-    CopiesDeleted += O.CopiesDeleted;
-    GraphBuildSeconds += O.GraphBuildSeconds;
-    LivenessSeconds += O.LivenessSeconds;
-    PeakGraphBytes = PeakGraphBytes > O.PeakGraphBytes ? PeakGraphBytes
-                                                       : O.PeakGraphBytes;
-  }
+  /// Cap on one interference graph's adjacency footprint in bytes
+  /// (InterferenceGraph::memoryBytes); 0 = unlimited. Exceeding it raises
+  /// AllocError(ResourceLimit) instead of growing without bound.
+  size_t MaxGraphBytes = 0;
+
+  /// Per-function wall-clock budget in seconds; 0 = unlimited. Checked at
+  /// round boundaries; raises AllocError(ResourceLimit). Note: wall-clock
+  /// triggering is inherently machine-dependent, so runs relying on
+  /// byte-identical determinism should leave this off or pair it with
+  /// FallbackOnError (the fallback itself is deterministic).
+  double MaxAllocSeconds = 0;
+
+  /// Checked mode: run the independent AssignmentVerifier on the coloring
+  /// before the physical rewrite; violations raise
+  /// AllocError(VerifierReject). The spill-everything fallback self-checks
+  /// the same way when this is set.
+  bool VerifyAssignments = false;
+
+  /// Per-function graceful degradation in allocateProgram /
+  /// allocateProgramChecked: on AllocError the function's pristine body is
+  /// restored and allocated with the guaranteed-correct spill-everything
+  /// allocator; other functions are unaffected. When off, the error
+  /// propagates (deterministically, lowest function index first).
+  bool FallbackOnError = false;
+
+  /// Deterministic fault injection for testing the degradation path. When
+  /// empty, the process-wide RAP_FAULT_INJECT plan (if any) applies. The
+  /// fallback allocator always runs fault-free.
+  FaultPlan Faults;
 };
 
 /// Allocates registers for \p F with the baseline allocator. \p F must be
-/// unallocated.
+/// unallocated. Throws AllocError on failure.
 AllocStats allocateGra(IlocFunction &F, const AllocOptions &Options);
 
-/// Allocates registers for \p F with RAP.
+/// Allocates registers for \p F with RAP. Throws AllocError on failure.
 AllocStats allocateRap(IlocFunction &F, const AllocOptions &Options);
 
-/// Allocates every function of \p Prog with \p Kind (no-op for None).
+/// Allocates every function of \p Prog with \p Kind (no-op for None),
+/// returning per-function outcomes plus stats aggregated in function order.
+/// Worker-thread failures are captured per function slot; with
+/// Options.FallbackOnError the affected functions degrade in place,
+/// otherwise the lowest-index failure is rethrown after the pool joins.
+ProgramAllocResult allocateProgramChecked(IlocProgram &Prog,
+                                          AllocatorKind Kind,
+                                          const AllocOptions &Options);
+
+/// Back-compat wrapper around allocateProgramChecked returning only the
+/// aggregated stats.
 AllocStats allocateProgram(IlocProgram &Prog, AllocatorKind Kind,
                            const AllocOptions &Options);
 

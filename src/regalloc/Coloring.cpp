@@ -6,7 +6,8 @@
 
 #include "regalloc/Coloring.h"
 
-#include <cassert>
+#include "regalloc/AllocError.h"
+
 #include <limits>
 
 using namespace rap;
@@ -80,7 +81,8 @@ ColorResult rap::colorGraph(InterferenceGraph &G, unsigned K) {
         }
       }
     }
-    assert(Pick >= 0 && "no node to simplify");
+    allocCheck(Pick >= 0, AllocErrorKind::InvariantViolation,
+               "no node to simplify");
     Remove(static_cast<unsigned>(Pick));
     Stack.push_back(static_cast<unsigned>(Pick));
     --Remaining;

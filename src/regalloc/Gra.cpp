@@ -17,18 +17,19 @@
 
 #include "regalloc/Allocator.h"
 
+#include "ir/Clone.h"
 #include "regalloc/AllocSupport.h"
+#include "regalloc/AssignmentVerifier.h"
 #include "regalloc/Coalesce.h"
 #include "regalloc/Coloring.h"
 #include "regalloc/InterferenceGraph.h"
 #include "regalloc/Peephole.h"
 #include "regalloc/PhysicalRewrite.h"
+#include "regalloc/SpillEverything.h"
 
 #include <atomic>
-#include <cassert>
 #include <chrono>
-#include <cstdio>
-#include <cstdlib>
+#include <exception>
 #include <map>
 #include <set>
 #include <thread>
@@ -44,16 +45,25 @@ double secondsSince(std::chrono::steady_clock::time_point Start) {
 }
 
 constexpr double InfiniteCost = 1e18;
-constexpr unsigned MaxSpillRounds = 100;
 
 class GraAllocator {
 public:
   GraAllocator(IlocFunction &F, const AllocOptions &Options)
-      : F(F), Options(Options) {}
+      : F(F), Options(Options),
+        Injector(Options.Faults.empty() ? envFaultPlan() : Options.Faults,
+                 F.name()),
+        StartTime(std::chrono::steady_clock::now()) {}
 
   AllocStats run() {
     std::unique_ptr<CodeInfo> CI;
-    for (unsigned Round = 0; Round != MaxSpillRounds; ++Round) {
+    for (unsigned Round = 0; Round != Options.MaxSpillRounds; ++Round) {
+      if (Options.MaxAllocSeconds > 0 &&
+          secondsSince(StartTime) > Options.MaxAllocSeconds)
+        throwAllocError(AllocErrorKind::ResourceLimit,
+                        "wall-clock budget of " +
+                            std::to_string(Options.MaxAllocSeconds) +
+                            "s exceeded",
+                        F.name());
       // Warm-start liveness from the previous round's solution.
       CI = std::make_unique<CodeInfo>(F, CI.get());
       Stats.LivenessSeconds += CI->LivenessSeconds;
@@ -67,9 +77,28 @@ public:
       Stats.MaxGraphNodes =
           std::max(Stats.MaxGraphNodes, G.numAliveNodes());
       Stats.PeakGraphBytes = std::max(Stats.PeakGraphBytes, G.memoryBytes());
+      if (Options.MaxGraphBytes && G.memoryBytes() > Options.MaxGraphBytes)
+        throwAllocError(AllocErrorKind::ResourceLimit,
+                        "interference graph needs " +
+                            std::to_string(G.memoryBytes()) +
+                            " bytes (limit " +
+                            std::to_string(Options.MaxGraphBytes) + ")",
+                        F.name());
       setSpillCosts(G, Refs);
+      Injector.hit(FaultSite::Coloring);
       ColorResult CR = colorGraph(G, Options.K);
       if (CR.fullyColored()) {
+        if (Options.VerifyAssignments) {
+          std::vector<AssignmentViolation> Violations =
+              verifyAssignment(F, G);
+          if (!Violations.empty())
+            throwAllocError(AllocErrorKind::VerifierReject,
+                            std::to_string(Violations.size()) +
+                                " assignment violation(s); first: " +
+                                Violations[0].Text,
+                            F.name());
+        }
+        Injector.hit(FaultSite::PhysicalRewrite);
         Stats.CopiesDeleted = rewriteToPhysical(F, G, Options.K);
         if (Options.PeepholeForGra) {
           PeepholeResult PR = peepholeSpillCleanup(F);
@@ -80,9 +109,10 @@ public:
       }
       spillRound(G, CR, *CI, Refs);
     }
-    std::fprintf(stderr, "GRA: spill loop did not converge for '%s'\n",
-                 F.name().c_str());
-    std::abort();
+    throwAllocError(AllocErrorKind::NonConvergence,
+                    "spill loop did not converge within " +
+                        std::to_string(Options.MaxSpillRounds) + " rounds",
+                    F.name());
   }
 
 private:
@@ -156,16 +186,16 @@ private:
         spillEverywhere(V, CI, Refs, Editor);
       }
     }
-    if (!Progress) {
-      std::fprintf(stderr,
-                   "GRA: only unspillable nodes left in '%s' with k=%u\n",
-                   F.name().c_str(), Options.K);
-      std::abort();
-    }
+    if (!Progress)
+      throwAllocError(AllocErrorKind::Unallocatable,
+                      "only unspillable nodes left (k=" +
+                          std::to_string(Options.K) + " too small)",
+                      F.name());
   }
 
   void spillEverywhere(Reg V, const CodeInfo &CI, const RefInfo &Refs,
                        CodeEditor &Editor) {
+    Injector.hit(FaultSite::SpillInsert);
     ++Stats.SpilledVRegs;
     NoSpill.insert(V);
     int Slot = slotOf(V);
@@ -218,6 +248,8 @@ private:
   IlocFunction &F;
   const AllocOptions &Options;
   AllocStats Stats;
+  FaultInjector Injector;
+  std::chrono::steady_clock::time_point StartTime;
   std::set<Reg> NoSpill;
   std::map<Reg, int> SlotOf;
 };
@@ -225,51 +257,120 @@ private:
 } // namespace
 
 AllocStats rap::allocateGra(IlocFunction &F, const AllocOptions &Options) {
-  assert(!F.isAllocated() && "function already allocated");
-  assert(Options.K >= 3 && "need at least 3 registers for a load/store ISA");
-  return GraAllocator(F, Options).run();
+  try {
+    allocCheck(!F.isAllocated(), AllocErrorKind::InvariantViolation,
+               "function already allocated");
+    allocCheck(Options.K >= 3, AllocErrorKind::Unallocatable,
+               "need at least 3 registers for a load/store ISA");
+    return GraAllocator(F, Options).run();
+  } catch (AllocError &E) {
+    E.setFunction(F.name()); // fill in throw sites below the allocator
+    throw;
+  }
 }
 
-AllocStats rap::allocateProgram(IlocProgram &Prog, AllocatorKind Kind,
-                                const AllocOptions &Options) {
-  AllocStats Total;
-  if (Kind == AllocatorKind::None)
-    return Total;
+namespace {
+
+/// One function's fault-isolated allocation. With FallbackOnError, any
+/// AllocError (or std::exception) from the primary allocator discards the
+/// half-edited body, restores a pristine clone taken up front, and allocates
+/// it with the spill-everything fallback — which has no injection sites, so
+/// an armed fault plan cannot re-fire in the degradation path. Without
+/// FallbackOnError the error propagates to the driver.
+AllocOutcome allocateOne(IlocProgram &Prog, unsigned I, AllocatorKind Kind,
+                         const AllocOptions &Options) {
+  IlocFunction *F = Prog.functions()[I].get();
+  AllocOutcome Out;
+  Out.Function = F->name();
+
+  std::unique_ptr<IlocFunction> Backup;
+  if (Options.FallbackOnError)
+    Backup = cloneFunction(*F);
+
+  try {
+    Out.Stats = Kind == AllocatorKind::Gra ? allocateGra(*F, Options)
+                                           : allocateRap(*F, Options);
+    return Out;
+  } catch (const AllocError &E) {
+    if (!Options.FallbackOnError)
+      throw;
+    Out.ErrorKind = E.kind();
+    Out.Error = E.what();
+  } catch (const std::exception &E) {
+    if (!Options.FallbackOnError)
+      throw;
+    Out.ErrorKind = AllocErrorKind::Internal;
+    Out.Error = std::string(allocErrorKindName(AllocErrorKind::Internal)) +
+                " in '" + Out.Function + "': " + E.what();
+  }
+
+  Out.Status = AllocStatus::Fallback;
+  F = Prog.replaceFunction(I, std::move(Backup));
+  Out.Stats = allocateSpillEverything(*F, Options);
+  return Out;
+}
+
+} // namespace
+
+ProgramAllocResult rap::allocateProgramChecked(IlocProgram &Prog,
+                                               AllocatorKind Kind,
+                                               const AllocOptions &Options) {
+  ProgramAllocResult Res;
   auto &Funcs = Prog.functions();
   unsigned N = static_cast<unsigned>(Funcs.size());
-  auto allocOne = [&](unsigned I) {
-    IlocFunction &F = *Funcs[I];
-    return Kind == AllocatorKind::Gra ? allocateGra(F, Options)
-                                      : allocateRap(F, Options);
+  Res.Outcomes.resize(N);
+  for (unsigned I = 0; I != N; ++I)
+    Res.Outcomes[I].Function = Funcs[I]->name();
+  if (Kind == AllocatorKind::None)
+    return Res;
+
+  // Worker-side exceptions (strict mode, or a failing fallback) are parked
+  // per function slot; after the pool joins, the lowest-index one is
+  // rethrown, so the surfaced error does not depend on thread scheduling.
+  std::vector<std::exception_ptr> Errors(N);
+  auto One = [&](unsigned I) {
+    try {
+      Res.Outcomes[I] = allocateOne(Prog, I, Kind, Options);
+    } catch (...) {
+      Res.Outcomes[I].Status = AllocStatus::Failed;
+      Errors[I] = std::current_exception();
+    }
   };
 
   unsigned Threads = std::min(Options.Threads, N);
   if (Threads <= 1) {
     for (unsigned I = 0; I != N; ++I)
-      Total.accumulate(allocOne(I));
-    return Total;
+      One(I);
+  } else {
+    // Functions share no mutable state, so each is allocated independently
+    // by a small worker pool. Per-function outcomes land in a slot indexed
+    // by function position and are folded in function order afterwards, so
+    // the aggregate is identical to a serial run regardless of scheduling.
+    std::atomic<unsigned> Next{0};
+    auto Worker = [&] {
+      for (unsigned I = Next.fetch_add(1, std::memory_order_relaxed); I < N;
+           I = Next.fetch_add(1, std::memory_order_relaxed))
+        One(I);
+    };
+    std::vector<std::thread> Pool;
+    Pool.reserve(Threads);
+    for (unsigned T = 0; T != Threads; ++T)
+      Pool.emplace_back(Worker);
+    for (auto &T : Pool)
+      T.join();
   }
 
-  // Functions share no mutable state, so each is allocated independently by
-  // a small worker pool. Per-function stats land in a slot indexed by
-  // function position and are folded in function order afterwards, so the
-  // aggregate is identical to a serial run regardless of scheduling.
-  std::vector<AllocStats> Per(N);
-  std::atomic<unsigned> Next{0};
-  auto Worker = [&] {
-    for (unsigned I = Next.fetch_add(1, std::memory_order_relaxed); I < N;
-         I = Next.fetch_add(1, std::memory_order_relaxed))
-      Per[I] = allocOne(I);
-  };
-  std::vector<std::thread> Pool;
-  Pool.reserve(Threads);
-  for (unsigned T = 0; T != Threads; ++T)
-    Pool.emplace_back(Worker);
-  for (auto &T : Pool)
-    T.join();
-  for (const AllocStats &S : Per)
-    Total.accumulate(S);
-  return Total;
+  for (unsigned I = 0; I != N; ++I)
+    if (Errors[I])
+      std::rethrow_exception(Errors[I]);
+  for (const AllocOutcome &O : Res.Outcomes)
+    Res.Total.accumulate(O.Stats);
+  return Res;
+}
+
+AllocStats rap::allocateProgram(IlocProgram &Prog, AllocatorKind Kind,
+                                const AllocOptions &Options) {
+  return allocateProgramChecked(Prog, Kind, Options).Total;
 }
 
 AllocatorKind rap::allocatorKindFromString(const std::string &Name) {

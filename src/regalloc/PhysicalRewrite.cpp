@@ -6,18 +6,21 @@
 
 #include "regalloc/PhysicalRewrite.h"
 
+#include "regalloc/AllocError.h"
+
 #include <algorithm>
-#include <cassert>
 
 using namespace rap;
 
 unsigned rap::rewriteToPhysical(IlocFunction &F,
                                 const InterferenceGraph &Final, unsigned K) {
-  assert(!F.isAllocated() && "function already allocated");
+  allocCheck(!F.isAllocated(), AllocErrorKind::InvariantViolation,
+             "function already allocated");
 
   auto MapReg = [&](Reg R) -> Reg {
     int C = Final.colorOf(R);
-    assert(C < static_cast<int>(K) && "color out of range");
+    allocCheck(C < static_cast<int>(K), AllocErrorKind::InvariantViolation,
+               "color out of range");
     // Registers that are never referenced (e.g. unused parameters) have no
     // node; any register is fine since the value is never read.
     return C < 0 ? 0 : static_cast<Reg>(C);

@@ -7,18 +7,18 @@
 #include "regalloc/Rap.h"
 
 #include "pdg/DataDependence.h"
+#include "regalloc/AssignmentVerifier.h"
 #include "regalloc/Coalesce.h"
 #include "regalloc/Coloring.h"
 #include "regalloc/GlobalSpillCleanup.h"
 #include "regalloc/Peephole.h"
 #include "regalloc/PhysicalRewrite.h"
 #include "regalloc/SpillCodeMovement.h"
+#include "support/Env.h"
 
 #include <algorithm>
-#include <cassert>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 
 using namespace rap;
 
@@ -28,18 +28,36 @@ double secondsSince(std::chrono::steady_clock::time_point Start) {
                                        Start)
       .count();
 }
+
+bool rapDebug() {
+  static const bool On = env::flag("RAP_DEBUG");
+  return On;
+}
 } // namespace
 
 namespace {
 constexpr double LocalOrSpilledCost = 999999.0; // paper Figure 5
 constexpr double InfiniteCost = 1e18;           // atomic spill temporaries
-constexpr unsigned MaxRoundsPerRegion = 100;
 constexpr unsigned MaxSpillActions = 50000;
 } // namespace
 
 RapAllocator::RapAllocator(IlocFunction &F, const AllocOptions &Options)
-    : F(F), Options(Options) {
+    : F(F), Options(Options),
+      Injector(Options.Faults.empty() ? envFaultPlan() : Options.Faults,
+               F.name()),
+      StartTime(std::chrono::steady_clock::now()) {
   refresh();
+}
+
+void RapAllocator::checkTimeBudget(int Region) {
+  if (Options.MaxAllocSeconds <= 0)
+    return;
+  if (secondsSince(StartTime) > Options.MaxAllocSeconds)
+    throwAllocError(AllocErrorKind::ResourceLimit,
+                    "wall-clock budget of " +
+                        std::to_string(Options.MaxAllocSeconds) +
+                        "s exceeded",
+                    F.name(), Region);
 }
 
 void RapAllocator::refresh() {
@@ -69,7 +87,8 @@ int RapAllocator::slotOf(Reg V) {
 //===----------------------------------------------------------------------===//
 
 InterferenceGraph RapAllocator::buildRegionGraph(PdgNode *V) {
-  assert(V->isRegion() && "allocation works on region nodes");
+  allocCheck(V->isRegion(), AllocErrorKind::InvariantViolation,
+             "allocation works on region nodes");
   InterferenceGraph G;
 
   std::vector<Instr *> PC = V->parentCode();
@@ -140,8 +159,8 @@ InterferenceGraph RapAllocator::buildRegionGraph(PdgNode *V) {
 
   for (PdgNode *S : V->subregions()) {
     auto GSIt = SavedGraphs.find(S);
-    assert(GSIt != SavedGraphs.end() &&
-           "subregion must be allocated before its parent");
+    allocCheck(GSIt != SavedGraphs.end(), AllocErrorKind::InvariantViolation,
+               "subregion must be allocated before its parent");
     const InterferenceGraph &GS = GSIt->second;
 
     // Import each combined subregion node, merging with existing nodes that
@@ -163,7 +182,8 @@ InterferenceGraph RapAllocator::buildRegionGraph(PdgNode *V) {
               static_cast<unsigned>(Target), static_cast<unsigned>(Existing)));
       }
       if (Target < 0) {
-        assert(!Fresh.empty() && "empty subregion node");
+        allocCheck(!Fresh.empty(), AllocErrorKind::InvariantViolation,
+                   "empty subregion node");
         Target = static_cast<int>(G.getOrCreateNode(Fresh.front()));
         Fresh.erase(Fresh.begin());
       }
@@ -257,8 +277,11 @@ InterferenceGraph RapAllocator::buildRegionGraph(PdgNode *V) {
       if (isGlobalTo(R, V))
         GlobalOrigins.insert(originOf(R));
     Node.Global = !GlobalOrigins.empty();
-    assert(GlobalOrigins.size() <= 1 &&
-           "combined node holds two region-global virtual registers");
+    if (GlobalOrigins.size() > 1)
+      throwAllocError(AllocErrorKind::InvariantViolation,
+                      "combined node holds two region-global virtual "
+                      "registers",
+                      F.name(), V->Id);
   }
   return G;
 }
@@ -352,16 +375,25 @@ InterferenceGraph RapAllocator::allocRegion(PdgNode *V) {
   for (PdgNode *S : V->subregions())
     allocRegion(S);
 
-  for (unsigned Round = 0; Round != MaxRoundsPerRegion; ++Round) {
+  for (unsigned Round = 0; Round != Options.MaxSpillRounds; ++Round) {
+    checkTimeBudget(V->Id);
     auto BuildStart = std::chrono::steady_clock::now();
     InterferenceGraph G = buildRegionGraph(V);
     Stats.GraphBuildSeconds += secondsSince(BuildStart);
     ++Stats.GraphBuilds;
     Stats.MaxGraphNodes = std::max(Stats.MaxGraphNodes, G.numAliveNodes());
     Stats.PeakGraphBytes = std::max(Stats.PeakGraphBytes, G.memoryBytes());
+    if (Options.MaxGraphBytes && G.memoryBytes() > Options.MaxGraphBytes)
+      throwAllocError(AllocErrorKind::ResourceLimit,
+                      "interference graph needs " +
+                          std::to_string(G.memoryBytes()) +
+                          " bytes (limit " +
+                          std::to_string(Options.MaxGraphBytes) + ")",
+                      F.name(), V->Id);
     calcSpillCosts(V, G);
+    Injector.hit(FaultSite::Coloring);
     ColorResult CR = colorGraph(G, Options.K);
-    if (std::getenv("RAP_DEBUG")) {
+    if (rapDebug()) {
       std::fprintf(stderr, "[rap] region R%d round %u nodes=%u spills=%zu\n",
                    V->Id, Round, G.numAliveNodes(), CR.SpillList.size());
       if (!CR.SpillList.empty()) {
@@ -396,17 +428,17 @@ InterferenceGraph RapAllocator::allocRegion(PdgNode *V) {
       for (Reg R : G.node(N).VRegs)
         Queue.push_back({R, V});
     }
-    if (Queue.empty() && !SplitProgress) {
-      std::fprintf(stderr,
-                   "RAP: unspillable pressure in '%s' (k=%u too small)\n",
-                   F.name().c_str(), Options.K);
-      std::abort();
-    }
+    if (Queue.empty() && !SplitProgress)
+      throwAllocError(AllocErrorKind::Unallocatable,
+                      "unspillable pressure (k=" +
+                          std::to_string(Options.K) + " too small)",
+                      F.name(), V->Id);
     spillQueueRun(std::move(Queue));
   }
-  std::fprintf(stderr, "RAP: region allocation did not converge in '%s'\n",
-               F.name().c_str());
-  std::abort();
+  throwAllocError(AllocErrorKind::NonConvergence,
+                  "region allocation did not converge within " +
+                      std::to_string(Options.MaxSpillRounds) + " rounds",
+                  F.name(), V->Id);
 }
 
 void RapAllocator::spillQueueRun(std::vector<std::pair<Reg, PdgNode *>> Queue) {
@@ -418,10 +450,12 @@ void RapAllocator::spillQueueRun(std::vector<std::pair<Reg, PdgNode *>> Queue) {
   while (!Queue.empty()) {
     auto [V, R] = Queue.front();
     Queue.erase(Queue.begin());
-    if (++TotalSpillActions > MaxSpillActions) {
-      std::fprintf(stderr, "RAP: spill storm in '%s'\n", F.name().c_str());
-      std::abort();
-    }
+    if (++TotalSpillActions > MaxSpillActions)
+      throwAllocError(AllocErrorKind::ResourceLimit,
+                      "spill storm: more than " +
+                          std::to_string(MaxSpillActions) + " spill actions",
+                      F.name(), R->Id);
+    checkTimeBudget(R->Id);
     // Spill rewrites edit only the spilled register's references (plus
     // fresh temporaries that never re-enter this queue), so the analysis
     // snapshot stays exact for every other register. Refresh lazily: only
@@ -496,7 +530,8 @@ void RapAllocator::renameInSubtree(PdgNode *S, Reg OldReg, Reg NewReg) {
 
 bool RapAllocator::trySpill(Reg V, PdgNode *R,
                             std::vector<std::pair<Reg, PdgNode *>> &Deferred) {
-  assert(R->isRegion() && "spills target regions");
+  allocCheck(R->isRegion(), AllocErrorKind::InvariantViolation,
+             "spills target regions");
   if (NoSpill.count(V))
     return false; // an atomic spill range cannot be spilled again
   if (!Refs->referencedWithin(V, R->LinBegin, R->LinEnd) ||
@@ -576,10 +611,11 @@ bool RapAllocator::trySpill(Reg V, PdgNode *R,
     return false;
   }
 
+  Injector.hit(FaultSite::SpillInsert);
   SpilledIn[R].insert(V);
   ++Stats.SpilledVRegs;
   int Slot = slotOf(V);
-  if (std::getenv("RAP_DEBUG"))
+  if (rapDebug())
     std::fprintf(stderr,
                  "[spill] %%%u at R%d (pcuses=%zu pcdefs=%zu subs=%zu "
                  "loadedU=%zu storedD=%zu)\n",
@@ -645,7 +681,8 @@ bool RapAllocator::trySpill(Reg V, PdgNode *R,
   // ...and the outside world synchronizes through the slot.
   for (unsigned Pos : StoredDefs) {
     Instr *Def = CI->Code.Instrs[Pos];
-    assert(Def->Dst == V && "stale reaching-definition information");
+    allocCheck(Def->Dst == V, AllocErrorKind::InvariantViolation,
+               "stale reaching-definition information");
     Instr *St = F.createInstr(Opcode::StSpill);
     St->Slot = Slot;
     St->Src = {V};
@@ -664,10 +701,11 @@ bool RapAllocator::trySpill(Reg V, PdgNode *R,
 bool RapAllocator::spillEverywhere(Reg V) {
   if (GloballySpilled.count(V))
     return false;
+  Injector.hit(FaultSite::SpillInsert);
   GloballySpilled.insert(V);
   ++Stats.SpilledVRegs;
   int Slot = slotOf(V);
-  if (std::getenv("RAP_DEBUG"))
+  if (rapDebug())
     std::fprintf(stderr, "[spill] %%%u everywhere (uses=%zu defs=%zu)\n", V,
                  Refs->usePositions(V).size(), Refs->defPositions(V).size());
   CodeEditor Editor(F);
@@ -719,6 +757,19 @@ AllocStats RapAllocator::run() {
     Stats.SunkStores = MR.SunkStores;
   }
 
+  // Checked mode: vet the final coloring (after movement, which is the last
+  // pass to run on virtual code) with the independent oracle.
+  if (Options.VerifyAssignments) {
+    std::vector<AssignmentViolation> Violations = verifyAssignment(F, Final);
+    if (!Violations.empty())
+      throwAllocError(AllocErrorKind::VerifierReject,
+                      std::to_string(Violations.size()) +
+                          " assignment violation(s); first: " +
+                          Violations[0].Text,
+                      F.name());
+  }
+
+  Injector.hit(FaultSite::PhysicalRewrite);
   Stats.CopiesDeleted = rewriteToPhysical(F, Final, Options.K);
 
   if (Options.Peephole) {
@@ -735,7 +786,14 @@ AllocStats RapAllocator::run() {
 }
 
 AllocStats rap::allocateRap(IlocFunction &F, const AllocOptions &Options) {
-  assert(!F.isAllocated() && "function already allocated");
-  assert(Options.K >= 3 && "need at least 3 registers for a load/store ISA");
-  return RapAllocator(F, Options).run();
+  try {
+    allocCheck(!F.isAllocated(), AllocErrorKind::InvariantViolation,
+               "function already allocated");
+    allocCheck(Options.K >= 3, AllocErrorKind::Unallocatable,
+               "need at least 3 registers for a load/store ISA");
+    return RapAllocator(F, Options).run();
+  } catch (AllocError &E) {
+    E.setFunction(F.name()); // fill in throw sites below the allocator
+    throw;
+  }
 }

@@ -28,6 +28,7 @@
 #include "regalloc/Allocator.h"
 #include "regalloc/InterferenceGraph.h"
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <set>
@@ -98,9 +99,17 @@ private:
   void renameInSubtree(PdgNode *S, Reg OldReg, Reg NewReg);
   int slotOf(Reg V);
 
+  /// Raises AllocError(ResourceLimit) once the wall-clock budget
+  /// (Options.MaxAllocSeconds) is spent. Checked at round boundaries.
+  void checkTimeBudget(int Region);
+
   IlocFunction &F;
   AllocOptions Options;
   AllocStats Stats;
+
+  /// This run's fault-injection state (disarmed unless a plan names us).
+  FaultInjector Injector;
+  std::chrono::steady_clock::time_point StartTime;
 
   std::unique_ptr<CodeInfo> CI;
   std::unique_ptr<RefInfo> Refs;

@@ -6,10 +6,11 @@
 
 #include "regalloc/SpillCodeMovement.h"
 
+#include "support/Env.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
-#include <cstdlib>
 #include <map>
 #include <set>
 #include <vector>
@@ -60,7 +61,7 @@ private:
     if (It != SavedGraphs.end())
       LG = &It->second;
 
-    const bool Debug = std::getenv("RAP_DEBUG") != nullptr;
+    static const bool Debug = env::flag("RAP_DEBUG");
     for (auto &[Slot, SO] : Ops) {
       if (!LG) {
         if (Debug)

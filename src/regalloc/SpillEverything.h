@@ -1,0 +1,43 @@
+//===- regalloc/SpillEverything.h - Guaranteed-correct fallback -*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The degradation target of the fault-isolated allocation driver: a
+/// spill-everywhere allocator in the sense of Bouchez/Darte/Rastello ("On
+/// the Complexity of Spill Everywhere under SSA Form") — every original
+/// virtual register lives in a stack slot; each instruction loads its
+/// operands into per-instruction atomic temporaries and stores its result
+/// back. The produced code is slow but its correctness is locally checkable
+/// (no live range crosses an instruction boundary except parameter arrivals,
+/// which get distinct registers), so this allocator succeeds on *any*
+/// unallocated function with k >= 3 and needs no interference graph, no
+/// iteration, and no spill heuristics.
+///
+/// The assignment is expressed as an InterferenceGraph coloring and pushed
+/// through the same rewriteToPhysical as GRA/RAP, so checked mode
+/// (AllocOptions::VerifyAssignments) can vet the fallback with the
+/// independent AssignmentVerifier too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_REGALLOC_SPILLEVERYTHING_H
+#define RAP_REGALLOC_SPILLEVERYTHING_H
+
+#include "regalloc/Allocator.h"
+
+namespace rap {
+
+/// Allocates \p F by sending every virtual register to memory. \p F must be
+/// unallocated. Honors Options.K and Options.VerifyAssignments; ignores the
+/// phase toggles and fault plan (the fallback always runs fault-free).
+/// Throws AllocError only on API misuse (allocated input, k < 3, more
+/// distinct instruction operands or parameters than k).
+AllocStats allocateSpillEverything(IlocFunction &F,
+                                   const AllocOptions &Options);
+
+} // namespace rap
+
+#endif // RAP_REGALLOC_SPILLEVERYTHING_H

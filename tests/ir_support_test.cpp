@@ -86,10 +86,12 @@ TEST(Opcode, ClassPredicates) {
 
 TEST(IlocProgram, GlobalLayoutIsPacked) {
   IlocProgram P;
-  const GlobalVar &A = P.addGlobal("a", 10, TypeKind::Int, true);
-  const GlobalVar &S = P.addGlobal("s", 1, TypeKind::Float, false);
-  EXPECT_EQ(A.Addr, 0);
-  EXPECT_EQ(S.Addr, 10);
+  // addGlobal's reference is invalidated by the next insertion; look the
+  // globals up once the table is complete.
+  P.addGlobal("a", 10, TypeKind::Int, true);
+  P.addGlobal("s", 1, TypeKind::Float, false);
+  EXPECT_EQ(P.findGlobal("a")->Addr, 0);
+  EXPECT_EQ(P.findGlobal("s")->Addr, 10);
   EXPECT_EQ(P.globalMemorySize(), 11);
   EXPECT_EQ(P.findGlobal("a")->Size, 10);
   EXPECT_EQ(P.findGlobal("missing"), nullptr);
