@@ -16,12 +16,82 @@
 
 #include "benchprogs/BenchPrograms.h"
 #include "driver/Pipeline.h"
+#include "driver/Report.h"
+#include "support/Json.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 namespace rap::bench {
+
+//===----------------------------------------------------------------------===//
+// Shared command-line handling. Every table harness accepts the same flags
+// (--csv, --json, --k=3,5,...) with the same validation, so the drivers and
+// CI scripts can treat them uniformly.
+//===----------------------------------------------------------------------===//
+
+struct BenchFlags {
+  bool Csv = false;
+  bool Json = false;
+  std::vector<unsigned> Ks; ///< empty = the harness's default sweep
+  bool Ok = true;
+  std::string Error; ///< set when !Ok
+};
+
+inline BenchFlags parseBenchFlags(int argc, char **argv) {
+  BenchFlags F;
+  for (int I = 1; I != argc; ++I) {
+    const char *Arg = argv[I];
+    if (std::strcmp(Arg, "--csv") == 0) {
+      F.Csv = true;
+    } else if (std::strcmp(Arg, "--json") == 0) {
+      F.Json = true;
+    } else if (std::strncmp(Arg, "--k=", 4) == 0) {
+      F.Ks.clear();
+      const char *P = Arg + 4;
+      while (*P) {
+        char *End = nullptr;
+        long K = std::strtol(P, &End, 10);
+        if (End == P || K < 3 || (*End != '\0' && *End != ',')) {
+          F.Ok = false;
+          F.Error = std::string("bad --k list '") + (Arg + 4) +
+                    "' (comma-separated integers >= 3)";
+          return F;
+        }
+        F.Ks.push_back(static_cast<unsigned>(K));
+        P = *End == ',' ? End + 1 : End;
+      }
+      if (F.Ks.empty()) {
+        F.Ok = false;
+        F.Error = "--k needs at least one value";
+        return F;
+      }
+    } else {
+      F.Ok = false;
+      F.Error = std::string("unknown option '") + Arg + "'";
+      return F;
+    }
+  }
+  if (F.Csv && F.Json) {
+    F.Ok = false;
+    F.Error = "--csv and --json are mutually exclusive";
+  }
+  return F;
+}
+
+/// Wraps \p Rows in the shared "rap-bench-v1" envelope every harness's
+/// --json mode emits: {"schema","bench","rows"}. Consumers key on "bench"
+/// to know the row shape.
+inline json::Value benchDoc(const char *Bench, json::Array Rows) {
+  json::Object Root;
+  Root["schema"] = "rap-bench-v1";
+  Root["bench"] = Bench;
+  Root["rows"] = json::Value(std::move(Rows));
+  return json::Value(std::move(Root));
+}
 
 struct Measurement {
   ExecStats Stats;
@@ -120,6 +190,23 @@ inline std::string fmtPct(double V, bool Blank) {
   char Buf[32];
   std::snprintf(Buf, sizeof(Buf), "%6.1f", V);
   return Buf;
+}
+
+/// One Measurement as a JSON object: the dynamic counters plus the
+/// allocator ledger (allocStatsJson's shape, shared with rap-stats-v1).
+inline json::Object measurementJson(const Measurement &M) {
+  json::Object O;
+  O["cycles"] = M.Stats.Cycles;
+  O["loads"] = M.Stats.Loads;
+  O["spill_loads"] = M.Stats.SpillLoads;
+  O["stores"] = M.Stats.Stores;
+  O["spill_stores"] = M.Stats.SpillStores;
+  O["copies"] = M.Stats.Copies;
+  O["calls"] = M.Stats.Calls;
+  O["checksum"] = static_cast<int64_t>(M.Checksum);
+  O["has_spill_code"] = M.HasSpillCode;
+  O["alloc"] = allocStatsJson(M.Alloc);
+  return O;
 }
 
 } // namespace rap::bench

@@ -61,10 +61,41 @@ void report(const char *Name, uint64_t Cycles, uint64_t Baseline) {
 
 } // namespace
 
-int main() {
-  const unsigned Ks[] = {3, 5};
+int main(int argc, char **argv) {
+  BenchFlags Flags = parseBenchFlags(argc, argv);
+  if (!Flags.Ok || Flags.Csv) {
+    std::fprintf(stderr,
+                 "ablation_phases: %s\n"
+                 "usage: ablation_phases [--json] [--k=3,5]\n",
+                 Flags.Ok ? "no --csv mode" : Flags.Error.c_str());
+    return 2;
+  }
+  const std::vector<unsigned> Ks =
+      Flags.Ks.empty() ? std::vector<unsigned>{3, 5} : Flags.Ks;
+  json::Array Rows;
+  // In --json mode each configuration becomes one row; pct_vs_baseline uses
+  // the same baseline the text report names (GRA, except the direct-codegen
+  // pair which compares within itself).
+  auto Emit = [&](unsigned K, const char *Config, uint64_t Cycles,
+                  uint64_t Baseline) {
+    if (Flags.Json) {
+      json::Object Row;
+      Row["k"] = K;
+      Row["config"] = Config;
+      Row["cycles"] = Cycles;
+      Row["baseline_cycles"] = Baseline;
+      Row["pct_vs_baseline"] =
+          100.0 * (static_cast<double>(Baseline) -
+                   static_cast<double>(Cycles)) /
+          static_cast<double>(Baseline);
+      Rows.push_back(json::Value(std::move(Row)));
+    } else {
+      report(Config, Cycles, Baseline);
+    }
+  };
   for (unsigned K : Ks) {
-    std::printf("=== k = %u (total cycles over all 37 routines) ===\n", K);
+    if (!Flags.Json)
+      std::printf("=== k = %u (total cycles over all 37 routines) ===\n", K);
 
     auto Base = [&] {
       CompileOptions O;
@@ -77,7 +108,7 @@ int main() {
       O.Allocator = AllocatorKind::Gra;
       return O;
     });
-    report("GRA (baseline)", Gra, Gra);
+    Emit(K, "GRA (baseline)", Gra, Gra);
 
     uint64_t GraPeep = totalCycles([&] {
       CompileOptions O = Base();
@@ -85,7 +116,7 @@ int main() {
       O.Alloc.PeepholeForGra = true;
       return O;
     });
-    report("GRA + Figure 6 peephole", GraPeep, Gra);
+    Emit(K, "GRA + Figure 6 peephole", GraPeep, Gra);
 
     uint64_t RapP1 = totalCycles([&] {
       CompileOptions O = Base();
@@ -95,7 +126,7 @@ int main() {
       O.Alloc.GlobalCleanup = false;
       return O;
     });
-    report("RAP phase 1 only", RapP1, Gra);
+    Emit(K, "RAP phase 1 only", RapP1, Gra);
 
     uint64_t RapP12 = totalCycles([&] {
       CompileOptions O = Base();
@@ -104,7 +135,7 @@ int main() {
       O.Alloc.GlobalCleanup = false;
       return O;
     });
-    report("RAP phases 1+2 (movement)", RapP12, Gra);
+    Emit(K, "RAP phases 1+2 (movement)", RapP12, Gra);
 
     uint64_t RapP123 = totalCycles([&] {
       CompileOptions O = Base();
@@ -112,14 +143,14 @@ int main() {
       O.Alloc.GlobalCleanup = false;
       return O;
     });
-    report("RAP phases 1+2+3 (paper-exact pipeline)", RapP123, Gra);
+    Emit(K, "RAP phases 1+2+3 (paper-exact pipeline)", RapP123, Gra);
 
     uint64_t RapFull = totalCycles([&] {
       CompileOptions O = Base();
       O.Allocator = AllocatorKind::Rap;
       return O;
     });
-    report("RAP full (+ dataflow cleanup, Table 1 setup)", RapFull, Gra);
+    Emit(K, "RAP full (+ dataflow cleanup, Table 1 setup)", RapFull, Gra);
 
     // Coalescing extension (paper §5 future work): both allocators.
     uint64_t GraCoal = totalCycles([&] {
@@ -128,14 +159,14 @@ int main() {
       O.Alloc.Coalesce = true;
       return O;
     });
-    report("GRA + conservative coalescing", GraCoal, Gra);
+    Emit(K, "GRA + conservative coalescing", GraCoal, Gra);
     uint64_t RapCoal = totalCycles([&] {
       CompileOptions O = Base();
       O.Allocator = AllocatorKind::Rap;
       O.Alloc.Coalesce = true;
       return O;
     });
-    report("RAP + conservative coalescing", RapCoal, Gra);
+    Emit(K, "RAP + conservative coalescing", RapCoal, Gra);
 
     // Copy-style ablation: both allocators under direct codegen.
     uint64_t GraDirect = totalCycles([&] {
@@ -150,14 +181,22 @@ int main() {
       O.Copies = CopyStyle::Direct;
       return O;
     });
-    std::printf("  copy-style ablation (direct codegen): GRA %llu, RAP %llu "
-                "(%+.2f%%)\n",
-                static_cast<unsigned long long>(GraDirect),
-                static_cast<unsigned long long>(RapDirect),
-                100.0 * (static_cast<double>(GraDirect) -
-                         static_cast<double>(RapDirect)) /
-                    static_cast<double>(GraDirect));
-    std::printf("\n");
+    if (Flags.Json) {
+      Emit(K, "GRA direct codegen", GraDirect, GraDirect);
+      Emit(K, "RAP direct codegen", RapDirect, GraDirect);
+    } else {
+      std::printf("  copy-style ablation (direct codegen): GRA %llu, RAP %llu "
+                  "(%+.2f%%)\n",
+                  static_cast<unsigned long long>(GraDirect),
+                  static_cast<unsigned long long>(RapDirect),
+                  100.0 * (static_cast<double>(GraDirect) -
+                           static_cast<double>(RapDirect)) /
+                      static_cast<double>(GraDirect));
+      std::printf("\n");
+    }
   }
+  if (Flags.Json)
+    std::printf("%s\n",
+                benchDoc("ablation_phases", std::move(Rows)).str(2).c_str());
   return 0;
 }

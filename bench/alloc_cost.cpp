@@ -19,10 +19,13 @@
 
 #include "benchprogs/BenchPrograms.h"
 #include "driver/Pipeline.h"
+#include "driver/Report.h"
+#include "support/Json.h"
 
 #include "benchmark/benchmark.h"
 
 #include <chrono>
+#include <cstring>
 
 using namespace rap;
 
@@ -85,9 +88,58 @@ void registerAll() {
   }
 }
 
+/// --json mode: one single-shot measurement per (allocator, program, k)
+/// emitted as "rap-bench-v1" rows — the machine-readable counterpart of the
+/// google-benchmark counters (timings are single runs; treat as smoke data).
+int runJsonMode() {
+  const char *Programs[] = {"loop7", "loop21", "queens", "hsort", "intmm"};
+  json::Array Rows;
+  for (const char *Prog : Programs) {
+    const BenchProgram *P = findBenchProgram(Prog);
+    if (!P) {
+      std::fprintf(stderr, "alloc_cost: unknown program '%s'\n", Prog);
+      return 1;
+    }
+    for (unsigned K : {3u, 9u}) {
+      for (AllocatorKind Kind : {AllocatorKind::Gra, AllocatorKind::Rap}) {
+        CompileOptions FrontendOpts;
+        CompileResult CR = compileMiniC(P->Source, FrontendOpts);
+        if (!CR.ok()) {
+          std::fprintf(stderr, "alloc_cost: %s failed to compile\n", Prog);
+          return 1;
+        }
+        AllocOptions Alloc;
+        Alloc.K = K;
+        auto Start = std::chrono::steady_clock::now();
+        AllocStats S = allocateProgram(*CR.Prog, Kind, Alloc);
+        double Seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          Start)
+                .count();
+        json::Object Row;
+        Row["benchmark"] = Prog;
+        Row["allocator"] = Kind == AllocatorKind::Rap ? "rap" : "gra";
+        Row["k"] = K;
+        Row["alloc_s"] = Seconds;
+        Row["alloc"] = allocStatsJson(S);
+        Rows.push_back(json::Value(std::move(Row)));
+      }
+    }
+  }
+  json::Object Root;
+  Root["schema"] = "rap-bench-v1";
+  Root["bench"] = "alloc_cost";
+  Root["rows"] = json::Value(std::move(Rows));
+  std::printf("%s\n", json::Value(std::move(Root)).str(2).c_str());
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
+  for (int I = 1; I != argc; ++I)
+    if (std::strcmp(argv[I], "--json") == 0)
+      return runJsonMode();
   registerAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

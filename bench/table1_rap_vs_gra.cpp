@@ -27,33 +27,43 @@ using namespace rap;
 using namespace rap::bench;
 
 int main(int argc, char **argv) {
-  bool Csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
-  const unsigned Ks[] = {3, 5, 7, 9};
+  BenchFlags Flags = parseBenchFlags(argc, argv);
+  if (!Flags.Ok) {
+    std::fprintf(stderr,
+                 "table1_rap_vs_gra: %s\n"
+                 "usage: table1_rap_vs_gra [--csv|--json] [--k=3,5,7,9]\n",
+                 Flags.Error.c_str());
+    return 2;
+  }
+  const std::vector<unsigned> Ks =
+      Flags.Ks.empty() ? std::vector<unsigned>{3, 5, 7, 9} : Flags.Ks;
+  const size_t NumKs = Ks.size();
 
-  if (!Csv) {
+  if (Flags.Csv) {
+    std::printf("benchmark,k,tot,ld,st,gra_cycles,rap_cycles,gra_copies,"
+                "rap_copies\n");
+  } else if (!Flags.Json) {
     std::printf("Table 1: percentage decrease in cycles executed "
                 "(RAP vs GRA)\n");
     std::printf("%-14s", "Benchmark");
     for (unsigned K : Ks)
       std::printf(" |  k=%u: tot    ld    st", K);
     std::printf("\n");
-  } else {
-    std::printf("benchmark,k,tot,ld,st,gra_cycles,rap_cycles,gra_copies,"
-                "rap_copies\n");
   }
 
-  std::vector<double> SumTot(4, 0.0);
-  std::vector<int> Positive(4, 0);
+  std::vector<double> SumTot(NumKs, 0.0);
+  std::vector<int> Positive(NumKs, 0);
   unsigned NumPrograms = 0;
   double GrandSum = 0.0;
   unsigned GrandCount = 0;
+  json::Array Rows;
 
   for (const BenchProgram &P : benchPrograms()) {
     ++NumPrograms;
     int64_t Want = referenceChecksum(P);
-    if (!Csv)
+    if (!Flags.Csv && !Flags.Json)
       std::printf("%-14s", P.Name);
-    for (unsigned KI = 0; KI != 4; ++KI) {
+    for (size_t KI = 0; KI != NumKs; ++KI) {
       unsigned K = Ks[KI];
       CompileOptions GraOpts;
       GraOpts.Allocator = AllocatorKind::Gra;
@@ -70,7 +80,17 @@ int main(int argc, char **argv) {
       Positive[KI] += C.Tot > 0.0;
       GrandSum += C.Tot;
       ++GrandCount;
-      if (Csv) {
+      if (Flags.Json) {
+        json::Object Row;
+        Row["benchmark"] = P.Name;
+        Row["k"] = K;
+        Row["tot_pct"] = C.Tot;
+        Row["ld_pct"] = C.Ld;
+        Row["st_pct"] = C.St;
+        Row["gra"] = measurementJson(Gra);
+        Row["rap"] = measurementJson(Rap);
+        Rows.push_back(json::Value(std::move(Row)));
+      } else if (Flags.Csv) {
         std::printf("%s,%u,%.3f,%.3f,%.3f,%llu,%llu,%llu,%llu\n", P.Name, K,
                     C.Tot, C.Ld, C.St,
                     static_cast<unsigned long long>(Gra.Stats.Cycles),
@@ -83,18 +103,24 @@ int main(int argc, char **argv) {
                     fmtPct(C.St, !C.HasSpill).c_str());
       }
     }
-    if (!Csv)
+    if (!Flags.Csv && !Flags.Json)
       std::printf("\n");
   }
 
-  if (!Csv) {
+  if (Flags.Json) {
+    std::printf("%s\n", benchDoc("table1_rap_vs_gra", std::move(Rows))
+                            .str(2)
+                            .c_str());
+    return 0;
+  }
+  if (!Flags.Csv) {
     std::printf("%-14s", "Average");
-    for (unsigned KI = 0; KI != 4; ++KI)
+    for (size_t KI = 0; KI != NumKs; ++KI)
       std::printf(" | %s%18s", fmtPct(SumTot[KI] / NumPrograms, false).c_str(),
                   "");
     std::printf("\n\n");
     std::printf("Routines improved:");
-    for (unsigned KI = 0; KI != 4; ++KI)
+    for (size_t KI = 0; KI != NumKs; ++KI)
       std::printf("  k=%u: %d/%u", Ks[KI], Positive[KI], NumPrograms);
     std::printf("\n");
     std::printf("Grand average percentage decrease: %.1f%%  "
@@ -102,7 +128,7 @@ int main(int argc, char **argv) {
                 GrandSum / GrandCount);
     std::printf("All %u binaries checksum-verified against the unallocated "
                 "reference.\n",
-                NumPrograms * 8);
+                NumPrograms * static_cast<unsigned>(2 * NumKs));
   }
   return 0;
 }

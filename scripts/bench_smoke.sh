@@ -4,6 +4,10 @@
 # from the tiny min_time are NOT meaningful; use a longer --benchmark_min_time
 # run for real measurements.
 #
+# Artifacts (repo root, gitignored, uploaded by CI):
+#   BENCH_alloc.json  machine-readable "rap-bench-v1" counters (alloc_cost --json)
+#   BENCH_trace.json  sample Chrome trace of a rapcc allocation (--trace)
+#
 # Usage: scripts/bench_smoke.sh [build-dir]
 set -euo pipefail
 
@@ -11,16 +15,39 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 
 cmake -S "$REPO_ROOT" -B "$BUILD_DIR" >/dev/null
-cmake --build "$BUILD_DIR" --target alloc_cost alloc_scale -j "$(nproc)"
+cmake --build "$BUILD_DIR" --target alloc_cost alloc_scale rapcc -j "$(nproc)"
 
-OUT="$BUILD_DIR/BENCH_alloc.json"
-"$BUILD_DIR/bench/alloc_cost" \
-  --benchmark_min_time=0.01 \
-  --benchmark_out="$OUT" \
+# Machine-readable counters, shared rap-bench-v1 schema.
+"$BUILD_DIR/bench/alloc_cost" --json > "$REPO_ROOT/BENCH_alloc.json"
+python3 -c "import json,sys; d=json.load(open('$REPO_ROOT/BENCH_alloc.json')); assert d['schema']=='rap-bench-v1' and d['rows'], 'bad bench schema'" \
+  2>/dev/null || { echo "BENCH_alloc.json failed schema check" >&2; exit 1; }
+
+# Sample allocation trace (Chrome trace-event JSON, one rapcc compile).
+TRACE_SRC="$(mktemp /tmp/bench_smoke.XXXXXX.mc)"
+trap 'rm -f "$TRACE_SRC"' EXIT
+cat > "$TRACE_SRC" <<'EOF'
+int f(int n) {
+  int s = 0;
+  int i = 0;
+  while (i < n) { s = s + i * i; i = i + 1; }
+  return s;
+}
+int main() {
+  int t = 0;
+  int j = 0;
+  while (j < 10) { t = t + f(j); j = j + 1; }
+  return t;
+}
+EOF
+"$BUILD_DIR/src/driver/rapcc" "$TRACE_SRC" --trace="$REPO_ROOT/BENCH_trace.json" >/dev/null
+
+# google-benchmark harness still runs end to end (timings not checked).
+"$BUILD_DIR/bench/alloc_cost" --benchmark_min_time=0.01 \
+  --benchmark_out="$BUILD_DIR/BENCH_alloc_gbench.json" \
   --benchmark_out_format=json
 
 # alloc_scale's startup verifies serial == parallel output before timing.
 "$BUILD_DIR/bench/alloc_scale" --benchmark_min_time=0.01 \
   --benchmark_filter='rap/all37/k3/t4'
 
-echo "bench smoke OK; counters in $OUT"
+echo "bench smoke OK; counters in $REPO_ROOT/BENCH_alloc.json, trace in $REPO_ROOT/BENCH_trace.json"

@@ -37,6 +37,8 @@ CompileResult rap::compileMiniC(const std::string &Source,
     // outcomes out of AR.)
     Res.Errors += AR.summary();
     Res.AllocOutcomes = std::move(AR.Outcomes);
+    if (Options.Alloc.Telem)
+      Res.Telemetry = Options.Alloc.Telem->aggregate();
   } catch (const AllocError &E) {
     // Strict mode (no fallback): allocation failure fails the compile with
     // a structured diagnostic instead of crashing the process.

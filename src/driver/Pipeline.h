@@ -18,6 +18,7 @@
 #include "ir/IlocProgram.h"
 #include "lower/AstLowering.h"
 #include "regalloc/Allocator.h"
+#include "support/Stats.h"
 
 #include <memory>
 #include <string>
@@ -44,6 +45,12 @@ struct CompileResult {
   /// summary is also appended to Errors, so callers that only look at
   /// Errors still see the degradation.
   std::vector<AllocOutcome> AllocOutcomes;
+
+  /// Deterministic telemetry aggregate (counters/timers over all functions).
+  /// Empty unless Options.Alloc.Telem pointed at a registry during
+  /// compilation; the registry itself (for traces and per-function records)
+  /// stays with the caller who owns it.
+  telemetry::Aggregate Telemetry;
 
   std::string Errors; ///< diagnostics when compilation failed or degraded
 

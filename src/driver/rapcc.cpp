@@ -23,18 +23,29 @@
 ///                               spill-everything fallback
 ///     --dump=iloc|tree|dot|cfg  print an artifact instead of running
 ///     --func=NAME               which function to dump (default main)
-///     --stats                   print allocation statistics
+///     --stats[=text|json]       print allocation statistics: text renders
+///                               to stderr, json prints the machine-readable
+///                               "rap-stats-v1" document to stdout (and
+///                               replaces --run's result lines — the run's
+///                               counters land in the document's "exec"
+///                               section instead)
+///     --trace=FILE              write a Chrome trace-event JSON timeline of
+///                               the allocation phases to FILE (open it in
+///                               about://tracing or ui.perfetto.dev)
 ///     --run (default)           execute main() and print result + counters
 ///
 /// Exit codes: 0 success, 1 compile/run failure, 2 usage error, 3 success
 /// but at least one function degraded to the spill-everything fallback.
+/// --stats/--trace never change the exit code.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "cfg/Cfg.h"
 #include "driver/Pipeline.h"
+#include "driver/Report.h"
 #include "ir/Linearize.h"
 #include "pdg/Dot.h"
+#include "support/Stats.h"
 
 #include <cstdio>
 #include <cstring>
@@ -53,7 +64,8 @@ void usage() {
       "             [--granularity=stmt|merged] [--copies=naive|direct]\n"
       "             [--no-movement] [--no-peephole] [--no-cleanup]\n"
       "             [--threads=N] [--verify] [--no-fallback]\n"
-      "             [--dump=iloc|tree|dot|cfg] [--func=NAME] [--stats]\n");
+      "             [--dump=iloc|tree|dot|cfg] [--func=NAME]\n"
+      "             [--stats[=text|json]] [--trace=FILE]\n");
 }
 
 bool startsWith(const char *S, const char *Prefix) {
@@ -71,7 +83,8 @@ int main(int argc, char **argv) {
   std::string Path;
   std::string Dump;
   std::string Func = "main";
-  bool Stats = false;
+  std::string StatsMode; ///< "", "text", or "json"
+  std::string TracePath;
   CompileOptions Opts;
   Opts.Allocator = AllocatorKind::Rap;
   // The CLI favors producing *a* correct program: allocation errors degrade
@@ -135,7 +148,20 @@ int main(int argc, char **argv) {
     } else if (startsWith(Arg, "--func=")) {
       Func = Arg + 7;
     } else if (std::strcmp(Arg, "--stats") == 0) {
-      Stats = true;
+      StatsMode = "text";
+    } else if (startsWith(Arg, "--stats=")) {
+      StatsMode = Arg + 8;
+      if (StatsMode != "text" && StatsMode != "json") {
+        std::fprintf(stderr, "rapcc: unknown stats mode '%s'\n",
+                     StatsMode.c_str());
+        return 2;
+      }
+    } else if (startsWith(Arg, "--trace=")) {
+      TracePath = Arg + 8;
+      if (TracePath.empty()) {
+        std::fprintf(stderr, "rapcc: --trace needs a file path\n");
+        return 2;
+      }
     } else if (std::strcmp(Arg, "--run") == 0) {
       Dump.clear();
     } else if (Arg[0] == '-') {
@@ -159,6 +185,12 @@ int main(int argc, char **argv) {
   std::stringstream SS;
   SS << In.rdbuf();
 
+  // Telemetry costs nothing unless a stats or trace consumer asked for it;
+  // attaching the registry turns the allocator's instrumentation on.
+  telemetry::Telemetry Telem;
+  if (!StatsMode.empty() || !TracePath.empty())
+    Opts.Alloc.Telem = &Telem;
+
   CompileResult CR = compileMiniC(SS.str(), Opts);
   if (!CR.ok()) {
     std::fprintf(stderr, "%s", CR.Errors.c_str());
@@ -173,21 +205,29 @@ int main(int argc, char **argv) {
                    "rapcc: '%s' degraded to spill-everything fallback: %s\n",
                    O.Function.c_str(), O.Error.c_str());
 
-  if (Stats) {
-    std::fprintf(stderr,
-                 "alloc stats: graphs=%u maxnodes=%u spills=%u regions=%u "
-                 "hoisted=%u sunk=%u peephole=%u/%u cleanup=%u/%u "
-                 "copies-deleted=%u\n",
-                 CR.Alloc.GraphBuilds, CR.Alloc.MaxGraphNodes,
-                 CR.Alloc.SpilledVRegs, CR.Alloc.RegionsProcessed,
-                 CR.Alloc.HoistedLoads, CR.Alloc.SunkStores,
-                 CR.Alloc.PeepholeRemovedLoads,
-                 CR.Alloc.PeepholeRemovedStores,
-                 CR.Alloc.CleanupRemovedLoads,
-                 CR.Alloc.CleanupRemovedStores, CR.Alloc.CopiesDeleted);
+  ReportMeta Meta;
+  Meta.Allocator = Opts.Allocator == AllocatorKind::Rap   ? "rap"
+                   : Opts.Allocator == AllocatorKind::Gra ? "gra"
+                                                          : "none";
+  Meta.K = Opts.Alloc.K;
+  Meta.Threads = Opts.Alloc.Threads;
+
+  if (StatsMode == "text")
+    std::fprintf(stderr, "%s", statsText(CR, Meta).c_str());
+
+  if (!TracePath.empty()) {
+    std::ofstream TraceOut(TracePath);
+    if (!TraceOut) {
+      std::fprintf(stderr, "rapcc: cannot write trace to '%s'\n",
+                   TracePath.c_str());
+      return 1;
+    }
+    Telem.writeChromeTrace(TraceOut);
   }
 
   if (!Dump.empty()) {
+    if (StatsMode == "json")
+      std::printf("%s\n", statsJson(CR, Meta).str(2).c_str());
     IlocFunction *F = CR.Prog->findFunction(Func);
     if (!F) {
       std::fprintf(stderr, "rapcc: no function '%s'\n", Func.c_str());
@@ -215,6 +255,23 @@ int main(int argc, char **argv) {
   if (!R.Ok) {
     std::fprintf(stderr, "rapcc: runtime error: %s\n", R.Error.c_str());
     return 1;
+  }
+  if (StatsMode == "json") {
+    // The machine-readable path: one JSON document on stdout, with the
+    // run's dynamic counters embedded instead of the result lines.
+    json::Value Doc = statsJson(CR, Meta);
+    json::Object Exec;
+    Exec["result"] = R.ReturnValue.str();
+    Exec["cycles"] = R.Stats.Cycles;
+    Exec["loads"] = R.Stats.Loads;
+    Exec["spill_loads"] = R.Stats.SpillLoads;
+    Exec["stores"] = R.Stats.Stores;
+    Exec["spill_stores"] = R.Stats.SpillStores;
+    Exec["copies"] = R.Stats.Copies;
+    Exec["calls"] = R.Stats.Calls;
+    Doc.asObject()["exec"] = json::Value(std::move(Exec));
+    std::printf("%s\n", Doc.str(2).c_str());
+    return Degraded ? 3 : 0;
   }
   std::printf("result: %s\n", R.ReturnValue.str().c_str());
   std::printf("cycles: %llu  loads: %llu (spill %llu)  stores: %llu "

@@ -58,7 +58,8 @@ Interpreter::Interpreter(const IlocProgram &Prog) : Prog(Prog) {
     GlobalEnd[G.Addr] = G.Addr + G.Size;
 }
 
-RunResult Interpreter::run(const std::string &Entry, uint64_t Fuel) {
+RunResult Interpreter::run(const std::string &Entry, uint64_t Fuel,
+                           bool CollectPerFunction) {
   RunResult Res;
   const IlocFunction *EntryF = Prog.findFunction(Entry);
   if (!EntryF) {
@@ -99,6 +100,12 @@ RunResult Interpreter::run(const std::string &Entry, uint64_t Fuel) {
   Stack.push_back(MakeFrame(EntryId));
   ExecStats &S = Res.Stats;
   S.MaxCallDepth = 1;
+  std::vector<ExecStats> PerF(CollectPerFunction ? Funcs.size() : 0);
+  auto FinishPerFunction = [&] {
+    for (size_t Id = 0; Id != PerF.size(); ++Id)
+      if (PerF[Id].Cycles)
+        Res.PerFunction.emplace_back(Funcs[Id].F->name(), PerF[Id]);
+  };
 
   // Performs a return: pops the frame and writes the value into the caller.
   auto DoReturn = [&](RtValue V) {
@@ -136,6 +143,20 @@ RunResult Interpreter::run(const std::string &Entry, uint64_t Fuel) {
     }
     if (I->Op == Opcode::Mv)
       ++S.Copies;
+    if (CollectPerFunction) {
+      ExecStats &P = PerF[Fr.FuncId];
+      ++P.Cycles;
+      if (isLoadOpcode(I->Op)) {
+        ++P.Loads;
+        P.SpillLoads += I->Op == Opcode::LdSpill;
+      }
+      if (isStoreOpcode(I->Op)) {
+        ++P.Stores;
+        P.SpillStores += I->Op == Opcode::StSpill;
+      }
+      P.Copies += I->Op == Opcode::Mv;
+      P.Calls += I->Op == Opcode::Call;
+    }
 
     auto R = [&](unsigned Idx) -> RtValue & { return Fr.Regs[I->Src[Idx]]; };
     unsigned NextPC = Fr.PC + 1;
@@ -289,11 +310,13 @@ RunResult Interpreter::run(const std::string &Entry, uint64_t Fuel) {
     }
     case Opcode::Halt:
       Res.Ok = true;
+      FinishPerFunction();
       return Res;
     }
     Fr.PC = NextPC;
   }
 
   Res.Ok = true;
+  FinishPerFunction();
   return Res;
 }

@@ -47,6 +47,11 @@ struct RunResult {
   std::string Error; ///< set when !Ok (e.g. "division by zero at ...")
   RtValue ReturnValue;
   ExecStats Stats;
+  /// Per-function breakdown of Stats, in program order, one entry per
+  /// function that executed at least one cycle. Only filled when the run
+  /// was asked to collect it; MaxCallDepth is program-wide and stays 0
+  /// in the per-function entries.
+  std::vector<std::pair<std::string, ExecStats>> PerFunction;
 };
 
 class Interpreter {
@@ -57,9 +62,12 @@ public:
 
   /// Runs \p Entry (default "main", which must take no parameters) on
   /// zero-initialized global memory. \p Fuel bounds the number of executed
-  /// instructions to catch runaway programs.
+  /// instructions to catch runaway programs. With \p CollectPerFunction the
+  /// result also carries a per-function counter breakdown (costs one extra
+  /// branch per executed instruction; off by default).
   RunResult run(const std::string &Entry = "main",
-                uint64_t Fuel = 500'000'000);
+                uint64_t Fuel = 500'000'000,
+                bool CollectPerFunction = false);
 
   /// Global memory after the last run (for tests inspecting results).
   const std::vector<RtValue> &globalMemory() const { return Glob; }

@@ -30,13 +30,32 @@ struct AllocStats {
   unsigned SpilledVRegs = 0;   ///< virtual registers sent to memory
   unsigned MaxGraphNodes = 0;  ///< largest interference graph (space claim)
   unsigned RegionsProcessed = 0;
+  unsigned SpillRounds = 0;  ///< coloring rounds that ended in spilling
   unsigned HoistedLoads = 0; ///< phase 2
   unsigned SunkStores = 0;   ///< phase 2
+  unsigned MovementRemovedLoads = 0;  ///< in-loop ldm deleted by phase 2
+  unsigned MovementRemovedStores = 0; ///< in-loop stm deleted by phase 2
   unsigned PeepholeRemovedLoads = 0;
   unsigned PeepholeRemovedStores = 0;
+  unsigned PeepholeLoadsToCopies = 0; ///< Figure 6 pattern 2 (ldm -> mv)
   unsigned CleanupRemovedLoads = 0;  ///< dataflow extension
   unsigned CleanupRemovedStores = 0; ///< dataflow extension
   unsigned CopiesDeleted = 0; ///< mv rX, rX removed after assignment
+
+  //===------------------------------------------------------------------===//
+  // Spill-instruction ledger. Every LdSpill/StSpill an allocator creates is
+  // counted at its creation site; every one a cleanup pass deletes (or
+  // rewrites to a copy) is counted above. The telemetry test suite holds
+  // the books to the final code:
+  //
+  //   #ldm in output == SpillLoadsInserted + HoistedLoads
+  //                     - MovementRemovedLoads - PeepholeRemovedLoads
+  //                     - PeepholeLoadsToCopies - CleanupRemovedLoads
+  //
+  // and symmetrically for stores (SunkStores / *RemovedStores).
+  //===------------------------------------------------------------------===//
+  unsigned SpillLoadsInserted = 0;  ///< ldm created during spilling
+  unsigned SpillStoresInserted = 0; ///< stm created during spilling
 
   //===------------------------------------------------------------------===//
   // Cost instrumentation (excluded from determinism comparisons: wall time
@@ -52,12 +71,18 @@ struct AllocStats {
     return GraphBuilds == O.GraphBuilds && SpilledVRegs == O.SpilledVRegs &&
            MaxGraphNodes == O.MaxGraphNodes &&
            RegionsProcessed == O.RegionsProcessed &&
+           SpillRounds == O.SpillRounds &&
            HoistedLoads == O.HoistedLoads && SunkStores == O.SunkStores &&
+           MovementRemovedLoads == O.MovementRemovedLoads &&
+           MovementRemovedStores == O.MovementRemovedStores &&
            PeepholeRemovedLoads == O.PeepholeRemovedLoads &&
            PeepholeRemovedStores == O.PeepholeRemovedStores &&
+           PeepholeLoadsToCopies == O.PeepholeLoadsToCopies &&
            CleanupRemovedLoads == O.CleanupRemovedLoads &&
            CleanupRemovedStores == O.CleanupRemovedStores &&
            CopiesDeleted == O.CopiesDeleted &&
+           SpillLoadsInserted == O.SpillLoadsInserted &&
+           SpillStoresInserted == O.SpillStoresInserted &&
            PeakGraphBytes == O.PeakGraphBytes;
   }
 
@@ -67,13 +92,19 @@ struct AllocStats {
     MaxGraphNodes = MaxGraphNodes > O.MaxGraphNodes ? MaxGraphNodes
                                                     : O.MaxGraphNodes;
     RegionsProcessed += O.RegionsProcessed;
+    SpillRounds += O.SpillRounds;
     HoistedLoads += O.HoistedLoads;
     SunkStores += O.SunkStores;
+    MovementRemovedLoads += O.MovementRemovedLoads;
+    MovementRemovedStores += O.MovementRemovedStores;
     PeepholeRemovedLoads += O.PeepholeRemovedLoads;
     PeepholeRemovedStores += O.PeepholeRemovedStores;
+    PeepholeLoadsToCopies += O.PeepholeLoadsToCopies;
     CleanupRemovedLoads += O.CleanupRemovedLoads;
     CleanupRemovedStores += O.CleanupRemovedStores;
     CopiesDeleted += O.CopiesDeleted;
+    SpillLoadsInserted += O.SpillLoadsInserted;
+    SpillStoresInserted += O.SpillStoresInserted;
     GraphBuildSeconds += O.GraphBuildSeconds;
     LivenessSeconds += O.LivenessSeconds;
     PeakGraphBytes = PeakGraphBytes > O.PeakGraphBytes ? PeakGraphBytes

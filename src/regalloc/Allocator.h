@@ -39,6 +39,11 @@
 
 namespace rap {
 
+namespace telemetry {
+class Telemetry;
+class FunctionScope;
+} // namespace telemetry
+
 enum class AllocatorKind {
   None, ///< leave virtual registers (reference runs)
   Gra,
@@ -109,6 +114,24 @@ struct AllocOptions {
   /// empty, the process-wide RAP_FAULT_INJECT plan (if any) applies. The
   /// fallback allocator always runs fault-free.
   FaultPlan Faults;
+
+  //===------------------------------------------------------------------===//
+  // Telemetry (see support/Stats.h and DESIGN.md §9). Null pointers mean
+  // disabled: every instrumentation point inlines to a pointer test and
+  // the hot paths allocate nothing.
+  //===------------------------------------------------------------------===//
+
+  /// Program-level registry. allocateProgramChecked gives each function a
+  /// FunctionScope sharing this registry's epoch and commits it keyed by
+  /// function index, so the aggregate (and trace content modulo
+  /// timestamps/lane ids) is identical at any thread count.
+  telemetry::Telemetry *Telem = nullptr;
+
+  /// Per-function sink consumed by allocateGra/allocateRap (phase slices,
+  /// per-region event log, named counters). Set internally by the program
+  /// driver; set it directly only when calling the per-function entry
+  /// points yourself.
+  telemetry::FunctionScope *Scope = nullptr;
 };
 
 /// Allocates registers for \p F with the baseline allocator. \p F must be

@@ -7,12 +7,14 @@
 #include "regalloc/Coloring.h"
 
 #include "regalloc/AllocError.h"
+#include "support/Stats.h"
 
 #include <limits>
 
 using namespace rap;
 
-ColorResult rap::colorGraph(InterferenceGraph &G, unsigned K) {
+ColorResult rap::colorGraph(InterferenceGraph &G, unsigned K,
+                            telemetry::FunctionScope *Scope) {
   std::vector<unsigned> Alive = G.aliveNodes();
   for (unsigned N : Alive)
     G.node(N).Color = -1;
@@ -59,6 +61,7 @@ ColorResult rap::colorGraph(InterferenceGraph &G, unsigned K) {
 
   // Simplify: build the coloring stack.
   std::vector<unsigned> Stack;
+  std::vector<char> CostPick(Total, 0); // blocked picks, for telemetry
   unsigned Remaining = static_cast<unsigned>(Alive.size());
   while (Remaining != 0) {
     int Pick = -1;
@@ -80,6 +83,8 @@ ColorResult rap::colorGraph(InterferenceGraph &G, unsigned K) {
           Pick = static_cast<int>(N);
         }
       }
+      if (Pick >= 0)
+        CostPick[Pick] = 1;
     }
     allocCheck(Pick >= 0, AllocErrorKind::InvariantViolation,
                "no node to simplify");
@@ -117,6 +122,17 @@ ColorResult rap::colorGraph(InterferenceGraph &G, unsigned K) {
     G.node(N).Color = Chosen;
     if (G.node(N).Global)
       GlobalColorUsed[Chosen] = 1;
+    if (Scope && CostPick[N])
+      Scope->add("color.optimistic_colored"); // Briggs rescue
+  }
+  if (Scope) {
+    Scope->add("color.invocations");
+    Scope->add("color.nodes", Alive.size());
+    uint64_t Blocked = 0;
+    for (unsigned N : Alive)
+      Blocked += CostPick[N];
+    Scope->add("color.blocked_picks", Blocked);
+    Scope->add("color.spilled_nodes", Res.SpillList.size());
   }
   return Res;
 }

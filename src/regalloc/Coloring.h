@@ -28,6 +28,10 @@
 
 namespace rap {
 
+namespace telemetry {
+class FunctionScope;
+} // namespace telemetry
+
 struct ColorResult {
   /// Node ids that could not be colored, in pop order.
   std::vector<unsigned> SpillList;
@@ -38,7 +42,12 @@ struct ColorResult {
 /// Colors \p G with \p K colors. Spill costs must already be set (and
 /// divided by degree, per Figure 5). Nodes on the spill list end with
 /// Color == -1; all others receive a color in [0, K).
-ColorResult colorGraph(InterferenceGraph &G, unsigned K);
+///
+/// With a telemetry \p Scope, records the color.* counters: nodes seen,
+/// trivially-simplified picks, cost-forced (blocked) picks, blocked nodes
+/// rescued by Briggs optimism, and nodes sent to the spill list.
+ColorResult colorGraph(InterferenceGraph &G, unsigned K,
+                       telemetry::FunctionScope *Scope = nullptr);
 
 } // namespace rap
 

@@ -9,6 +9,7 @@
 #include "cfg/Cfg.h"
 #include "ir/Linearize.h"
 #include "support/BitVector.h"
+#include "support/Stats.h"
 
 #include <algorithm>
 #include <cassert>
@@ -254,7 +255,9 @@ unsigned deadStorePass(IlocFunction &F) {
 
 } // namespace
 
-GlobalCleanupResult rap::globalSpillCleanup(IlocFunction &F) {
+GlobalCleanupResult rap::globalSpillCleanup(IlocFunction &F,
+                                            telemetry::FunctionScope *Scope) {
+  telemetry::ScopedPhase Phase(Scope, "cleanup");
   assert(F.isAllocated() && "cleanup runs on physical code");
   GlobalCleanupResult Total;
   // Each pass can expose work for the other (a deleted dead store frees a
@@ -267,7 +270,15 @@ GlobalCleanupResult rap::globalSpillCleanup(IlocFunction &F) {
     Total.RemovedLoads += R.RemovedLoads;
     Total.LoadsToCopies += R.LoadsToCopies;
     Total.RemovedStores += R.RemovedStores + DeadStores;
+    if (Scope)
+      Scope->add("cleanup.fixpoint_iterations");
     if (R.RemovedLoads + R.LoadsToCopies + R.RemovedStores + DeadStores == 0)
-      return Total;
+      break;
   }
+  if (Scope) {
+    Scope->add("cleanup.removed_loads", Total.RemovedLoads);
+    Scope->add("cleanup.loads_to_copies", Total.LoadsToCopies);
+    Scope->add("cleanup.removed_stores", Total.RemovedStores);
+  }
+  return Total;
 }

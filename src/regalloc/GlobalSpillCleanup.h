@@ -31,6 +31,10 @@
 
 namespace rap {
 
+namespace telemetry {
+class FunctionScope;
+} // namespace telemetry
+
 struct GlobalCleanupResult {
   unsigned RemovedLoads = 0;
   unsigned LoadsToCopies = 0;
@@ -39,7 +43,10 @@ struct GlobalCleanupResult {
 
 /// Runs both dataflow passes to a fixpoint over \p F, which must be in
 /// physical registers. Returns the number of removed/rewritten operations.
-GlobalCleanupResult globalSpillCleanup(IlocFunction &F);
+/// With a telemetry \p Scope, the pass is timed as a "cleanup" slice and
+/// records cleanup.* counters.
+GlobalCleanupResult globalSpillCleanup(IlocFunction &F,
+                                       telemetry::FunctionScope *Scope = nullptr);
 
 } // namespace rap
 

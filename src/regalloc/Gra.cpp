@@ -26,6 +26,7 @@
 #include "regalloc/Peephole.h"
 #include "regalloc/PhysicalRewrite.h"
 #include "regalloc/SpillEverything.h"
+#include "support/Stats.h"
 
 #include <atomic>
 #include <chrono>
@@ -55,6 +56,7 @@ public:
         StartTime(std::chrono::steady_clock::now()) {}
 
   AllocStats run() {
+    telemetry::FunctionScope *TS = Options.Scope;
     std::unique_ptr<CodeInfo> CI;
     for (unsigned Round = 0; Round != Options.MaxSpillRounds; ++Round) {
       if (Options.MaxAllocSeconds > 0 &&
@@ -64,6 +66,7 @@ public:
                             std::to_string(Options.MaxAllocSeconds) +
                             "s exceeded",
                         F.name());
+      telemetry::ScopedPhase RoundPhase(TS, "gra_round");
       // Warm-start liveness from the previous round's solution.
       CI = std::make_unique<CodeInfo>(F, CI.get());
       Stats.LivenessSeconds += CI->LivenessSeconds;
@@ -86,7 +89,14 @@ public:
                         F.name());
       setSpillCosts(G, Refs);
       Injector.hit(FaultSite::Coloring);
-      ColorResult CR = colorGraph(G, Options.K);
+      ColorResult CR = colorGraph(G, Options.K, TS);
+      if (TS) {
+        RoundPhase.arg("round", Round);
+        RoundPhase.arg("nodes", G.numAliveNodes());
+        RoundPhase.arg("spill_candidates", CR.SpillList.size());
+        TS->add("gra.rounds");
+        TS->maxOf("graph.max_nodes", G.numAliveNodes());
+      }
       if (CR.fullyColored()) {
         if (Options.VerifyAssignments) {
           std::vector<AssignmentViolation> Violations =
@@ -99,14 +109,17 @@ public:
                             F.name());
         }
         Injector.hit(FaultSite::PhysicalRewrite);
-        Stats.CopiesDeleted = rewriteToPhysical(F, G, Options.K);
+        RoundPhase.finish();
+        Stats.CopiesDeleted = rewriteToPhysical(F, G, Options.K, TS);
         if (Options.PeepholeForGra) {
-          PeepholeResult PR = peepholeSpillCleanup(F);
+          PeepholeResult PR = peepholeSpillCleanup(F, TS);
           Stats.PeepholeRemovedLoads = PR.RemovedLoads;
           Stats.PeepholeRemovedStores = PR.RemovedStores;
+          Stats.PeepholeLoadsToCopies = PR.LoadsToCopies;
         }
         return Stats;
       }
+      ++Stats.SpillRounds;
       spillRound(G, CR, *CI, Refs);
     }
     throwAllocError(AllocErrorKind::NonConvergence,
@@ -207,6 +220,7 @@ private:
       St->Slot = Slot;
       St->Src = {V};
       Editor.insertAtRegionEntry(F.root(), St);
+      ++Stats.SpillStoresInserted;
     }
 
     // Load before every use.
@@ -218,6 +232,7 @@ private:
       Ld->Dst = T;
       Ld->Slot = Slot;
       Editor.insertBefore(User, Ld);
+      ++Stats.SpillLoadsInserted;
       for (Reg &R : User->Src)
         if (R == V)
           R = T;
@@ -233,6 +248,7 @@ private:
       St->Slot = Slot;
       St->Src = {D};
       Editor.insertAfter(Def, St);
+      ++Stats.SpillStoresInserted;
     }
   }
 
@@ -278,18 +294,39 @@ namespace {
 /// an armed fault plan cannot re-fire in the degradation path. Without
 /// FallbackOnError the error propagates to the driver.
 AllocOutcome allocateOne(IlocProgram &Prog, unsigned I, AllocatorKind Kind,
-                         const AllocOptions &Options) {
+                         const AllocOptions &Options, unsigned Worker) {
   IlocFunction *F = Prog.functions()[I].get();
   AllocOutcome Out;
   Out.Function = F->name();
+
+  // With a registry attached, this function records into its own scope
+  // (lock-free: one writer) and commits keyed by function index below, so
+  // the registry's aggregate does not depend on thread scheduling.
+  telemetry::FunctionScope Scope(Options.Telem ? Options.Telem->epoch()
+                                               : telemetry::Clock::now());
+  AllocOptions Opts = Options;
+  if (Options.Telem)
+    Opts.Scope = &Scope;
+  struct Committer {
+    const AllocOptions &Options;
+    telemetry::FunctionScope &Scope;
+    unsigned Index, Worker;
+    std::string Name;
+    ~Committer() {
+      if (Options.Telem)
+        Options.Telem->commit(Index, std::move(Name), Worker,
+                              std::move(Scope));
+    }
+  } Commit{Options, Scope, I, Worker, Out.Function};
 
   std::unique_ptr<IlocFunction> Backup;
   if (Options.FallbackOnError)
     Backup = cloneFunction(*F);
 
   try {
-    Out.Stats = Kind == AllocatorKind::Gra ? allocateGra(*F, Options)
-                                           : allocateRap(*F, Options);
+    telemetry::ScopedPhase Phase(Opts.Scope, "allocate_function");
+    Out.Stats = Kind == AllocatorKind::Gra ? allocateGra(*F, Opts)
+                                           : allocateRap(*F, Opts);
     return Out;
   } catch (const AllocError &E) {
     if (!Options.FallbackOnError)
@@ -305,8 +342,11 @@ AllocOutcome allocateOne(IlocProgram &Prog, unsigned I, AllocatorKind Kind,
   }
 
   Out.Status = AllocStatus::Fallback;
+  if (Opts.Scope)
+    Opts.Scope->add("alloc.fallbacks");
   F = Prog.replaceFunction(I, std::move(Backup));
-  Out.Stats = allocateSpillEverything(*F, Options);
+  telemetry::ScopedPhase Phase(Opts.Scope, "fallback_spill_everything");
+  Out.Stats = allocateSpillEverything(*F, Opts);
   return Out;
 }
 
@@ -328,9 +368,9 @@ ProgramAllocResult rap::allocateProgramChecked(IlocProgram &Prog,
   // per function slot; after the pool joins, the lowest-index one is
   // rethrown, so the surfaced error does not depend on thread scheduling.
   std::vector<std::exception_ptr> Errors(N);
-  auto One = [&](unsigned I) {
+  auto One = [&](unsigned I, unsigned Worker) {
     try {
-      Res.Outcomes[I] = allocateOne(Prog, I, Kind, Options);
+      Res.Outcomes[I] = allocateOne(Prog, I, Kind, Options, Worker);
     } catch (...) {
       Res.Outcomes[I].Status = AllocStatus::Failed;
       Errors[I] = std::current_exception();
@@ -340,22 +380,22 @@ ProgramAllocResult rap::allocateProgramChecked(IlocProgram &Prog,
   unsigned Threads = std::min(Options.Threads, N);
   if (Threads <= 1) {
     for (unsigned I = 0; I != N; ++I)
-      One(I);
+      One(I, 0);
   } else {
     // Functions share no mutable state, so each is allocated independently
     // by a small worker pool. Per-function outcomes land in a slot indexed
     // by function position and are folded in function order afterwards, so
     // the aggregate is identical to a serial run regardless of scheduling.
     std::atomic<unsigned> Next{0};
-    auto Worker = [&] {
+    auto Worker = [&](unsigned Lane) {
       for (unsigned I = Next.fetch_add(1, std::memory_order_relaxed); I < N;
            I = Next.fetch_add(1, std::memory_order_relaxed))
-        One(I);
+        One(I, Lane);
     };
     std::vector<std::thread> Pool;
     Pool.reserve(Threads);
     for (unsigned T = 0; T != Threads; ++T)
-      Pool.emplace_back(Worker);
+      Pool.emplace_back(Worker, T);
     for (auto &T : Pool)
       T.join();
   }

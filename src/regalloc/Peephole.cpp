@@ -8,6 +8,7 @@
 
 #include "cfg/Cfg.h"
 #include "ir/Linearize.h"
+#include "support/Stats.h"
 
 #include <algorithm>
 #include <cassert>
@@ -82,7 +83,9 @@ private:
 
 } // namespace
 
-PeepholeResult rap::peepholeSpillCleanup(IlocFunction &F) {
+PeepholeResult rap::peepholeSpillCleanup(IlocFunction &F,
+                                         telemetry::FunctionScope *Scope) {
+  telemetry::ScopedPhase Phase(Scope, "peephole");
   assert(F.isAllocated() && "peephole runs on physical code");
   PeepholeResult Res;
 
@@ -140,6 +143,11 @@ PeepholeResult rap::peepholeSpillCleanup(IlocFunction &F) {
     }
   }
 
+  if (Scope) {
+    Scope->add("peephole.removed_loads", Res.RemovedLoads);
+    Scope->add("peephole.removed_stores", Res.RemovedStores);
+    Scope->add("peephole.loads_to_copies", Res.LoadsToCopies);
+  }
   if (ToDelete.empty())
     return Res;
 

@@ -31,6 +31,10 @@
 
 namespace rap {
 
+namespace telemetry {
+class FunctionScope;
+} // namespace telemetry
+
 struct PeepholeResult {
   unsigned RemovedLoads = 0;  ///< deleted ldm (patterns 1, 4)
   unsigned RemovedStores = 0; ///< deleted stm (patterns 3, 5)
@@ -38,8 +42,10 @@ struct PeepholeResult {
 };
 
 /// Runs the cleanup over every basic block of \p F, which must already be
-/// rewritten to physical registers.
-PeepholeResult peepholeSpillCleanup(IlocFunction &F);
+/// rewritten to physical registers. With a telemetry \p Scope, the pass is
+/// timed as a "peephole" slice and records peephole.* counters.
+PeepholeResult peepholeSpillCleanup(IlocFunction &F,
+                                    telemetry::FunctionScope *Scope = nullptr);
 
 } // namespace rap
 

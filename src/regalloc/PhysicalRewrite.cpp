@@ -7,15 +7,18 @@
 #include "regalloc/PhysicalRewrite.h"
 
 #include "regalloc/AllocError.h"
+#include "support/Stats.h"
 
 #include <algorithm>
 
 using namespace rap;
 
 unsigned rap::rewriteToPhysical(IlocFunction &F,
-                                const InterferenceGraph &Final, unsigned K) {
+                                const InterferenceGraph &Final, unsigned K,
+                                telemetry::FunctionScope *Scope) {
   allocCheck(!F.isAllocated(), AllocErrorKind::InvariantViolation,
              "function already allocated");
+  telemetry::ScopedPhase Phase(Scope, "rewrite");
 
   auto MapReg = [&](Reg R) -> Reg {
     int C = Final.colorOf(R);
@@ -57,5 +60,9 @@ unsigned rap::rewriteToPhysical(IlocFunction &F,
 
   F.setParamRegs(std::move(ParamRegs));
   F.setAllocated(K);
+  if (Scope) {
+    Scope->add("rewrite.copies_deleted", CopiesDeleted);
+    Phase.arg("copies_deleted", CopiesDeleted);
+  }
   return CopiesDeleted;
 }

@@ -20,13 +20,19 @@
 
 namespace rap {
 
+namespace telemetry {
+class FunctionScope;
+} // namespace telemetry
+
 /// Rewrites every operand of \p F from virtual registers to the colors in
 /// \p Final (which must color every referenced virtual register), marks the
 /// function allocated with \p K physical registers, records the parameter
 /// registers, and removes now-trivial copies. Returns the number of copies
-/// deleted.
+/// deleted. With a telemetry \p Scope, the pass is timed as a "rewrite"
+/// slice and records rewrite.copies_deleted.
 unsigned rewriteToPhysical(IlocFunction &F, const InterferenceGraph &Final,
-                           unsigned K);
+                           unsigned K,
+                           telemetry::FunctionScope *Scope = nullptr);
 
 } // namespace rap
 

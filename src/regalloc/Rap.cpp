@@ -15,6 +15,7 @@
 #include "regalloc/PhysicalRewrite.h"
 #include "regalloc/SpillCodeMovement.h"
 #include "support/Env.h"
+#include "support/Stats.h"
 
 #include <algorithm>
 #include <chrono>
@@ -375,14 +376,20 @@ InterferenceGraph RapAllocator::allocRegion(PdgNode *V) {
   for (PdgNode *S : V->subregions())
     allocRegion(S);
 
+  telemetry::FunctionScope *TS = Options.Scope;
   for (unsigned Round = 0; Round != Options.MaxSpillRounds; ++Round) {
     checkTimeBudget(V->Id);
+    telemetry::ScopedPhase Phase(TS, "rap_region", V->Id);
     auto BuildStart = std::chrono::steady_clock::now();
     InterferenceGraph G = buildRegionGraph(V);
     Stats.GraphBuildSeconds += secondsSince(BuildStart);
     ++Stats.GraphBuilds;
     Stats.MaxGraphNodes = std::max(Stats.MaxGraphNodes, G.numAliveNodes());
     Stats.PeakGraphBytes = std::max(Stats.PeakGraphBytes, G.memoryBytes());
+    if (TS) {
+      TS->add("rap.graph_builds");
+      TS->maxOf("graph.max_nodes", G.numAliveNodes());
+    }
     if (Options.MaxGraphBytes && G.memoryBytes() > Options.MaxGraphBytes)
       throwAllocError(AllocErrorKind::ResourceLimit,
                       "interference graph needs " +
@@ -392,7 +399,10 @@ InterferenceGraph RapAllocator::allocRegion(PdgNode *V) {
                       F.name(), V->Id);
     calcSpillCosts(V, G);
     Injector.hit(FaultSite::Coloring);
-    ColorResult CR = colorGraph(G, Options.K);
+    ColorResult CR = colorGraph(G, Options.K, TS);
+    Phase.arg("round", Round);
+    Phase.arg("nodes", G.numAliveNodes());
+    Phase.arg("spill_candidates", CR.SpillList.size());
     if (rapDebug()) {
       std::fprintf(stderr, "[rap] region R%d round %u nodes=%u spills=%zu\n",
                    V->Id, Round, G.numAliveNodes(), CR.SpillList.size());
@@ -407,9 +417,14 @@ InterferenceGraph RapAllocator::allocRegion(PdgNode *V) {
         if (!S->IsLoop)
           SavedGraphs.erase(S);
       ++Stats.RegionsProcessed;
+      if (TS)
+        TS->add("rap.regions_processed");
       InProgress.erase(V);
       return G;
     }
+    ++Stats.SpillRounds;
+    if (TS)
+      TS->add("rap.spill_rounds");
     std::vector<std::pair<Reg, PdgNode *>> Queue;
     bool SplitProgress = false;
     for (unsigned N : CR.SpillList) {
@@ -502,7 +517,13 @@ void RapAllocator::spillQueueRun(std::vector<std::pair<Reg, PdgNode *>> Queue) {
         break;
       }
   }
-  for (PdgNode *D : Dirty)
+  // Re-allocate in region-id order, not std::set's pointer order: the
+  // subtrees are disjoint so any order gives the same code, but telemetry
+  // records the visit sequence and must not vary with heap layout.
+  std::vector<PdgNode *> Order(Dirty.begin(), Dirty.end());
+  std::sort(Order.begin(), Order.end(),
+            [](const PdgNode *A, const PdgNode *B) { return A->Id < B->Id; });
+  for (PdgNode *D : Order)
     allocRegion(D);
 }
 
@@ -631,6 +652,7 @@ bool RapAllocator::trySpill(Reg V, PdgNode *R,
     St->Src = {V};
     Editor.insertAtRegionEntry(F.root(), St);
     ParamStores[V] = St;
+    ++Stats.SpillStoresInserted;
   }
 
   // Parent-level references go through fresh atomic live ranges...
@@ -642,6 +664,7 @@ bool RapAllocator::trySpill(Reg V, PdgNode *R,
     Ld->Dst = T;
     Ld->Slot = Slot;
     Editor.insertBefore(User, Ld);
+    ++Stats.SpillLoadsInserted;
     for (Reg &Op : User->Src)
       if (Op == V)
         Op = T;
@@ -655,6 +678,7 @@ bool RapAllocator::trySpill(Reg V, PdgNode *R,
     St->Slot = Slot;
     St->Src = {D};
     Editor.insertAfter(Def, St);
+    ++Stats.SpillStoresInserted;
   }
 
   // ...each referencing subregion loads the value on entry, stores escaping
@@ -668,12 +692,14 @@ bool RapAllocator::trySpill(Reg V, PdgNode *R,
       Ld->Dst = VS;
       Ld->Slot = Slot;
       Editor.insertAtRegionEntry(A.S, Ld);
+      ++Stats.SpillLoadsInserted;
     }
     if (A.Store) {
       Instr *St = F.createInstr(Opcode::StSpill);
       St->Slot = Slot;
       St->Src = {VS};
       Editor.insertAtRegionExit(A.S, St);
+      ++Stats.SpillStoresInserted;
     }
     renameInSubtree(A.S, V, VS);
   }
@@ -687,6 +713,7 @@ bool RapAllocator::trySpill(Reg V, PdgNode *R,
     St->Slot = Slot;
     St->Src = {V};
     Editor.insertAfter(Def, St);
+    ++Stats.SpillStoresInserted;
   }
   for (unsigned Pos : LoadedUses) {
     Instr *User = CI->Code.Instrs[Pos];
@@ -694,6 +721,7 @@ bool RapAllocator::trySpill(Reg V, PdgNode *R,
     Ld->Dst = V;
     Ld->Slot = Slot;
     Editor.insertBefore(User, Ld);
+    ++Stats.SpillLoadsInserted;
   }
   return true;
 }
@@ -717,6 +745,7 @@ bool RapAllocator::spillEverywhere(Reg V) {
     St->Src = {V};
     Editor.insertAtRegionEntry(F.root(), St);
     ParamStores[V] = St;
+    ++Stats.SpillStoresInserted;
   }
   Instr *Park = ParamStores.count(V) ? ParamStores[V] : nullptr;
 
@@ -732,6 +761,7 @@ bool RapAllocator::spillEverywhere(Reg V) {
     Ld->Dst = V;
     Ld->Slot = Slot;
     Editor.insertBefore(User, Ld);
+    ++Stats.SpillLoadsInserted;
   }
   for (unsigned Pos : Refs->defPositions(V)) {
     Instr *Def = CI->Code.Instrs[Pos];
@@ -739,6 +769,7 @@ bool RapAllocator::spillEverywhere(Reg V) {
     St->Slot = Slot;
     St->Src = {V};
     Editor.insertAfter(Def, St);
+    ++Stats.SpillStoresInserted;
   }
   return true;
 }
@@ -748,18 +779,22 @@ bool RapAllocator::spillEverywhere(Reg V) {
 //===----------------------------------------------------------------------===//
 
 AllocStats RapAllocator::run() {
+  telemetry::FunctionScope *TS = Options.Scope;
   InterferenceGraph Final = allocRegion(F.root());
 
   if (Options.SpillMovement) {
     refresh();
-    MovementResult MR = moveSpillCodeOutOfLoops(F, Final, SavedGraphs);
+    MovementResult MR = moveSpillCodeOutOfLoops(F, Final, SavedGraphs, TS);
     Stats.HoistedLoads = MR.HoistedLoads;
     Stats.SunkStores = MR.SunkStores;
+    Stats.MovementRemovedLoads = MR.RemovedLoads;
+    Stats.MovementRemovedStores = MR.RemovedStores;
   }
 
   // Checked mode: vet the final coloring (after movement, which is the last
   // pass to run on virtual code) with the independent oracle.
   if (Options.VerifyAssignments) {
+    telemetry::ScopedPhase Phase(TS, "verify");
     std::vector<AssignmentViolation> Violations = verifyAssignment(F, Final);
     if (!Violations.empty())
       throwAllocError(AllocErrorKind::VerifierReject,
@@ -770,15 +805,16 @@ AllocStats RapAllocator::run() {
   }
 
   Injector.hit(FaultSite::PhysicalRewrite);
-  Stats.CopiesDeleted = rewriteToPhysical(F, Final, Options.K);
+  Stats.CopiesDeleted = rewriteToPhysical(F, Final, Options.K, TS);
 
   if (Options.Peephole) {
-    PeepholeResult PR = peepholeSpillCleanup(F);
+    PeepholeResult PR = peepholeSpillCleanup(F, TS);
     Stats.PeepholeRemovedLoads = PR.RemovedLoads;
     Stats.PeepholeRemovedStores = PR.RemovedStores;
+    Stats.PeepholeLoadsToCopies = PR.LoadsToCopies;
   }
   if (Options.GlobalCleanup) {
-    GlobalCleanupResult GR = globalSpillCleanup(F);
+    GlobalCleanupResult GR = globalSpillCleanup(F, TS);
     Stats.CleanupRemovedLoads = GR.RemovedLoads + GR.LoadsToCopies;
     Stats.CleanupRemovedStores = GR.RemovedStores;
   }

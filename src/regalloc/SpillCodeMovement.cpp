@@ -7,6 +7,7 @@
 #include "regalloc/SpillCodeMovement.h"
 
 #include "support/Env.h"
+#include "support/Stats.h"
 
 #include <algorithm>
 #include <cassert>
@@ -164,7 +165,8 @@ private:
   void deleteOps(PdgNode *L, const SlotOps &SO) {
     std::set<Instr *> Dead(SO.Loads.begin(), SO.Loads.end());
     Dead.insert(SO.Stores.begin(), SO.Stores.end());
-    Res.RemovedOps += static_cast<unsigned>(Dead.size());
+    Res.RemovedLoads += static_cast<unsigned>(SO.Loads.size());
+    Res.RemovedStores += static_cast<unsigned>(SO.Stores.size());
     L->forEachNode([&](const PdgNode *CN) {
       auto *N = const_cast<PdgNode *>(CN);
       if (!N->isStatement() && !N->isPredicate())
@@ -212,6 +214,17 @@ private:
 
 MovementResult rap::moveSpillCodeOutOfLoops(
     IlocFunction &F, const InterferenceGraph &Final,
-    const std::map<const PdgNode *, InterferenceGraph> &SavedGraphs) {
-  return Mover(F, Final, SavedGraphs).run();
+    const std::map<const PdgNode *, InterferenceGraph> &SavedGraphs,
+    telemetry::FunctionScope *Scope) {
+  telemetry::ScopedPhase Phase(Scope, "movement");
+  MovementResult Res = Mover(F, Final, SavedGraphs).run();
+  if (Scope) {
+    Scope->add("movement.hoisted_loads", Res.HoistedLoads);
+    Scope->add("movement.sunk_stores", Res.SunkStores);
+    Scope->add("movement.removed_loads", Res.RemovedLoads);
+    Scope->add("movement.removed_stores", Res.RemovedStores);
+    Phase.arg("hoisted_loads", Res.HoistedLoads);
+    Phase.arg("sunk_stores", Res.SunkStores);
+  }
+  return Res;
 }

@@ -32,18 +32,27 @@
 
 namespace rap {
 
+namespace telemetry {
+class FunctionScope;
+} // namespace telemetry
+
 struct MovementResult {
-  unsigned HoistedLoads = 0; ///< pre-loop loads inserted
-  unsigned SunkStores = 0;   ///< post-loop stores inserted
-  unsigned RemovedOps = 0;   ///< in-loop loads/stores deleted
+  unsigned HoistedLoads = 0;  ///< pre-loop loads inserted
+  unsigned SunkStores = 0;    ///< post-loop stores inserted
+  unsigned RemovedLoads = 0;  ///< in-loop loads deleted
+  unsigned RemovedStores = 0; ///< in-loop stores deleted
+
+  unsigned removedOps() const { return RemovedLoads + RemovedStores; }
 };
 
 /// Runs the movement pass over \p F (still in virtual registers, colored by
 /// \p Final). \p SavedGraphs must contain the combined interference graph
-/// of every loop region.
+/// of every loop region. With a telemetry \p Scope, the pass is timed as a
+/// "movement" slice and records movement.* counters.
 MovementResult moveSpillCodeOutOfLoops(
     IlocFunction &F, const InterferenceGraph &Final,
-    const std::map<const PdgNode *, InterferenceGraph> &SavedGraphs);
+    const std::map<const PdgNode *, InterferenceGraph> &SavedGraphs,
+    telemetry::FunctionScope *Scope = nullptr);
 
 } // namespace rap
 

@@ -34,6 +34,7 @@
 #include "regalloc/AssignmentVerifier.h"
 #include "regalloc/InterferenceGraph.h"
 #include "regalloc/PhysicalRewrite.h"
+#include "support/Stats.h"
 
 #include <algorithm>
 
@@ -47,6 +48,8 @@ AllocStats rap::allocateSpillEverything(IlocFunction &F,
              "need at least 3 registers for a load/store ISA");
 
   AllocStats Stats;
+  telemetry::FunctionScope *TS = Options.Scope;
+  telemetry::ScopedPhase Phase(TS, "spill_everything");
   LinearCode Code = linearize(F);
   const Reg NumOrigVRegs = F.numVRegs(); // temps created below have no slot
   RefInfo Refs(Code, NumOrigVRegs);
@@ -84,6 +87,7 @@ AllocStats rap::allocateSpillEverything(IlocFunction &F,
     St->Slot = SlotOf[P];
     St->Src = {P};
     Editor.insertAtRegionEntry(F.root(), St);
+    ++Stats.SpillStoresInserted;
   }
 
   // Rewrite each original instruction to load/operate/store form. The
@@ -110,6 +114,7 @@ AllocStats rap::allocateSpillEverything(IlocFunction &F,
       Ld->Dst = T;
       Ld->Slot = SlotOf[V];
       Editor.insertBefore(I, Ld);
+      ++Stats.SpillLoadsInserted;
       for (Reg &R : I->Src)
         if (R == V)
           R = T;
@@ -124,6 +129,7 @@ AllocStats rap::allocateSpillEverything(IlocFunction &F,
       St->Slot = SlotOf[OrigDst];
       St->Src = {D};
       Editor.insertAfter(I, St);
+      ++Stats.SpillStoresInserted;
     }
   }
 
@@ -132,6 +138,11 @@ AllocStats rap::allocateSpillEverything(IlocFunction &F,
   Stats.GraphBuilds = 1;
   Stats.MaxGraphNodes = Final.numAliveNodes();
   Stats.PeakGraphBytes = Final.memoryBytes();
+  if (TS) {
+    TS->add("spill_everything.spilled_vregs", Stats.SpilledVRegs);
+    TS->add("spill_everything.loads_inserted", Stats.SpillLoadsInserted);
+    TS->add("spill_everything.stores_inserted", Stats.SpillStoresInserted);
+  }
 
   // Self-check in checked mode with the same independent oracle the primary
   // allocators answer to.
@@ -143,6 +154,6 @@ AllocStats rap::allocateSpillEverything(IlocFunction &F,
                       F.name());
   }
 
-  Stats.CopiesDeleted = rewriteToPhysical(F, Final, Options.K);
+  Stats.CopiesDeleted = rewriteToPhysical(F, Final, Options.K, TS);
   return Stats;
 }

@@ -18,10 +18,14 @@
 
 #include "benchprogs/BenchPrograms.h"
 #include "driver/Pipeline.h"
+#include "driver/Report.h"
+#include "support/Json.h"
+#include "support/Stats.h"
 
 #include "gtest/gtest.h"
 
 #include <cstdlib>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -137,6 +141,90 @@ TEST(ParallelDeterminism, BenchProgramsUnderRap) {
     ASSERT_NE(P, nullptr);
     expectIdenticalRuns(P->Source, AllocatorKind::Rap, 3);
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry determinism: the stats document and the trace content must be
+// invariant under the thread count. Wall clocks can't be: the stats JSON is
+// compared after erasing exactly its "timing"/"timers" sections, the trace
+// after dropping per-lane metadata and zeroing ts/dur/tid. Everything else
+// — counters, slice names, regions, args, per-function rows — must match
+// byte for byte.
+//===----------------------------------------------------------------------===//
+
+/// rap-stats-v1 text with the documented non-deterministic sections erased.
+std::string normalizedStatsJson(const std::string &Source, unsigned Threads) {
+  telemetry::Telemetry Telem;
+  CompileOptions Options;
+  Options.Allocator = AllocatorKind::Rap;
+  Options.Alloc.K = 3;
+  Options.Alloc.Threads = Threads;
+  Options.Alloc.Telem = &Telem;
+  CompileResult CR = compileMiniC(Source, Options);
+  EXPECT_TRUE(CR.ok()) << CR.Errors;
+  ReportMeta Meta;
+  Meta.Allocator = "rap";
+  Meta.K = 3;
+  Meta.Threads = 1; // pin the metadata so only real divergence can differ
+  json::Value Doc = statsJson(CR, Meta);
+  Doc.asObject().erase("timing");
+  Doc.asObject().erase("timers");
+  return Doc.str(2);
+}
+
+/// Chrome trace with wall clocks and lane assignment normalized away:
+/// metadata events dropped, ts/dur/tid zeroed. Slice names, order, regions,
+/// and deterministic args all survive normalization.
+std::string normalizedTrace(const std::string &Source, unsigned Threads) {
+  telemetry::Telemetry Telem;
+  CompileOptions Options;
+  Options.Allocator = AllocatorKind::Rap;
+  Options.Alloc.K = 3;
+  Options.Alloc.Threads = Threads;
+  Options.Alloc.Telem = &Telem;
+  CompileResult CR = compileMiniC(Source, Options);
+  EXPECT_TRUE(CR.ok()) << CR.Errors;
+  std::ostringstream OS;
+  Telem.writeChromeTrace(OS);
+  json::Value Doc;
+  std::string Error;
+  EXPECT_TRUE(json::parse(OS.str(), Doc, &Error)) << Error;
+  json::Array Kept;
+  for (json::Value &E : Doc.asObject()["traceEvents"].asArray()) {
+    if (E["ph"].asString() != "X")
+      continue;
+    E.asObject()["ts"] = 0;
+    E.asObject()["dur"] = 0;
+    E.asObject()["tid"] = 0;
+    Kept.push_back(std::move(E));
+  }
+  Doc.asObject()["traceEvents"] = json::Value(std::move(Kept));
+  return Doc.str(2);
+}
+
+TEST(ParallelDeterminism, StatsJsonThreadInvariant) {
+  std::string Serial = normalizedStatsJson(MultiFunctionSource, 1);
+  // The document must actually carry telemetry before invariance means
+  // anything.
+  EXPECT_NE(Serial.find("rap.graph_builds"), std::string::npos);
+  for (unsigned Threads : {2u, 4u})
+    EXPECT_EQ(Serial, normalizedStatsJson(MultiFunctionSource, Threads))
+        << "stats JSON diverged at threads=" << Threads;
+}
+
+TEST(ParallelDeterminism, TraceThreadInvariant) {
+  std::string Serial = normalizedTrace(MultiFunctionSource, 1);
+  EXPECT_NE(Serial.find("rap_region"), std::string::npos);
+  for (unsigned Threads : {2u, 4u})
+    EXPECT_EQ(Serial, normalizedTrace(MultiFunctionSource, Threads))
+        << "trace content diverged at threads=" << Threads;
+}
+
+TEST(ParallelDeterminism, StatsJsonStableAcrossRepeatedRuns) {
+  std::string First = normalizedStatsJson(MultiFunctionSource, 4);
+  for (int Run = 0; Run != 3; ++Run)
+    EXPECT_EQ(First, normalizedStatsJson(MultiFunctionSource, 4))
+        << "run " << Run;
 }
 
 TEST(ParallelDeterminism, MoreThreadsThanFunctions) {
