@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Fuzz smoke: a time-boxed slice of the crash-free compilation contract
+# (DESIGN.md §10) for CI. Two stages:
+#
+#  1. Clean sweep — a fixed seed range of generator programs plus byte/
+#     token/AST mutants through parse -> sema -> lower -> {gra,rap} x
+#     k in {3,5,7,9} -> differential execution. Any crash, hang,
+#     allocation failure, or behaviour mismatch fails the script; repro
+#     artifacts land in the --out directory for upload.
+#
+#  2. Fault drill — injects a coloring fault with fallback disabled and
+#     asserts the failure pipeline itself works: the sweep must *fail*,
+#     write a minimized repro (<= 25% of the base program), and that
+#     artifact must replay to the identical failure signature.
+#
+# Seeds are fixed so CI runs are reproducible; the full nightly-scale sweep
+# is `rapfuzz --seeds=0:1250 --mutations=7` (10k inputs, ~1 min).
+#
+# Usage: scripts/fuzz_smoke.sh [build-dir]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+RAPFUZZ="$BUILD_DIR/src/fuzz/rapfuzz"
+OUT_DIR="${FUZZ_OUT_DIR:-$REPO_ROOT/FUZZ_repros}"
+
+cmake -S "$REPO_ROOT" -B "$BUILD_DIR" >/dev/null
+cmake --build "$BUILD_DIR" --target rapfuzz -j "$(nproc)"
+
+rm -rf "$OUT_DIR"
+
+# Stage 1: clean sweep. 500 generator seeds x (1 base + 7 mutants) = 4000
+# inputs, ~30s; --max-seconds time-boxes it if a runner is slow.
+"$RAPFUZZ" --seeds=0:500 --mutations=7 --level=mix --out="$OUT_DIR" \
+           --max-seconds=120 -q
+echo "fuzz smoke: clean sweep OK"
+
+# Stage 2: fault drill. The injected fault must surface as a failure (exit
+# 1) with a minimized repro on disk.
+DRILL_DIR="$(mktemp -d)"
+trap 'rm -rf "$DRILL_DIR"' EXIT
+set +e
+"$RAPFUZZ" --seeds=0:2 --mutations=0 --fault=color:1 --out="$DRILL_DIR" -q
+STATUS=$?
+set -e
+if [ "$STATUS" -ne 1 ]; then
+  echo "FAIL: fault drill expected exit 1 (failures found), got $STATUS" >&2
+  exit 1
+fi
+
+REPRO="$(find "$DRILL_DIR" -name 'repro-*.mc' | head -1)"
+if [ -z "$REPRO" ]; then
+  echo "FAIL: fault drill produced no repro artifact" >&2
+  exit 1
+fi
+
+# The minimized repro must be small (acceptance bound: <= 25% of the ~1KB
+# generator programs; in practice it reduces to ~12 bytes plus the header)
+# and must replay to the same failing signature (exit 1 again).
+BODY_BYTES="$(sed '/^\/\//d' "$REPRO" | wc -c)"
+if [ "$BODY_BYTES" -gt 256 ]; then
+  echo "FAIL: minimized repro is $BODY_BYTES bytes (expected <= 256)" >&2
+  exit 1
+fi
+set +e
+"$RAPFUZZ" --replay="$REPRO" --fault=color:1 -q
+STATUS=$?
+set -e
+if [ "$STATUS" -ne 1 ]; then
+  echo "FAIL: minimized repro did not replay (exit $STATUS)" >&2
+  exit 1
+fi
+
+echo "fuzz smoke OK (4000-input clean sweep; fault drill minimized to $BODY_BYTES bytes and replayed)"

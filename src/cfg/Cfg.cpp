@@ -14,7 +14,12 @@ using namespace rap;
 
 Cfg::Cfg(const LinearCode &Code) {
   unsigned N = static_cast<unsigned>(Code.Instrs.size());
-  assert(N > 0 && "cannot build a CFG for an empty function");
+  // An empty function (a reduced or degenerate input can lower to one) gets
+  // an empty graph; every consumer iterates over blocks and sees none.
+  // Found by rapfuzz: this used to be an assert, i.e. a process abort on a
+  // compilable input.
+  if (N == 0)
+    return;
 
   // Compute leaders: entry, branch targets, and instructions after branches.
   std::vector<char> IsLeader(N, 0);

@@ -10,10 +10,16 @@
 #include "frontend/Parser.h"
 #include "frontend/Sema.h"
 
+#include <exception>
+
 using namespace rap;
 
-CompileResult rap::compileMiniC(const std::string &Source,
-                                const CompileOptions &Options) {
+namespace {
+
+/// compileMiniC minus the catch-all: every failure path inside returns a
+/// CompileResult with Errors set and Prog null, never throws on purpose.
+CompileResult compileMiniCImpl(const std::string &Source,
+                               const CompileOptions &Options) {
   CompileResult Res;
   DiagnosticEngine Diags;
   Lexer Lex(Source, Diags);
@@ -27,7 +33,11 @@ CompileResult rap::compileMiniC(const std::string &Source,
     Res.Errors = Diags.str();
     return Res;
   }
-  Res.Prog = lowerToIloc(TU, Options.Granularity, Options.Copies);
+  Res.Prog = lowerToIloc(TU, Options.Granularity, Options.Copies, &Diags);
+  if (!Res.Prog) {
+    Res.Errors = Diags.hasErrors() ? Diags.str() : "internal lowering error\n";
+    return Res;
+  }
   try {
     ProgramAllocResult AR =
         allocateProgramChecked(*Res.Prog, Options.Allocator, Options.Alloc);
@@ -48,6 +58,26 @@ CompileResult rap::compileMiniC(const std::string &Source,
   return Res;
 }
 
+} // namespace
+
+CompileResult rap::compileMiniC(const std::string &Source,
+                                const CompileOptions &Options) {
+  // The crash-free contract's last line of defence: no input may take down
+  // the process. Anything escaping the stage-level handling above becomes a
+  // failed compile with an "internal error" diagnostic.
+  try {
+    return compileMiniCImpl(Source, Options);
+  } catch (const std::exception &E) {
+    CompileResult Res;
+    Res.Errors = std::string("internal error: ") + E.what() + "\n";
+    return Res;
+  } catch (...) {
+    CompileResult Res;
+    Res.Errors = "internal error: unknown exception\n";
+    return Res;
+  }
+}
+
 RunResult rap::compileAndRun(const std::string &Source,
                              const CompileOptions &Options) {
   CompileResult CR = compileMiniC(Source, Options);
@@ -57,5 +87,5 @@ RunResult rap::compileAndRun(const std::string &Source,
     return R;
   }
   Interpreter Interp(*CR.Prog);
-  return Interp.run();
+  return Interp.run("main", Options.InterpFuel);
 }

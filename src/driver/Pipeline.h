@@ -33,6 +33,10 @@ struct CompileOptions {
   AllocOptions Alloc;
   RegionGranularity Granularity = RegionGranularity::PerStatement;
   CopyStyle Copies = CopyStyle::Naive;
+  /// Instruction budget for compileAndRun's interpretation (the crash-free
+  /// contract's defence against non-terminating inputs; rapcc --fuel=N and
+  /// the fuzzer lower it).
+  uint64_t InterpFuel = 500'000'000;
 };
 
 struct CompileResult {

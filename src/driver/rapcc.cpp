@@ -32,10 +32,21 @@
 ///     --trace=FILE              write a Chrome trace-event JSON timeline of
 ///                               the allocation phases to FILE (open it in
 ///                               about://tracing or ui.perfetto.dev)
+///     --fuel=N                  instruction budget for --run (default
+///                               500000000); a program that does not halt
+///                               within it traps with "fuel-exhausted"
 ///     --run (default)           execute main() and print result + counters
 ///
-/// Exit codes: 0 success, 1 compile/run failure, 2 usage error, 3 success
-/// but at least one function degraded to the spill-everything fallback.
+/// Exit-code map (the crash-free contract: every input lands on exactly one
+/// of these, never a signal):
+///   0  success
+///   1  compile error (diagnostics on stderr) or I/O failure
+///   2  usage error (bad flag or missing file argument)
+///   3  success, but at least one function degraded to the spill-everything
+///      fallback (details on stderr)
+///   4  runtime trap: the program compiled but its execution trapped
+///      (div-by-zero, out-of-bounds, fuel-exhausted, stack-overflow, ...;
+///      the structured trap is printed on stderr)
 /// --stats/--trace never change the exit code.
 ///
 //===----------------------------------------------------------------------===//
@@ -65,7 +76,9 @@ void usage() {
       "             [--no-movement] [--no-peephole] [--no-cleanup]\n"
       "             [--threads=N] [--verify] [--no-fallback]\n"
       "             [--dump=iloc|tree|dot|cfg] [--func=NAME]\n"
-      "             [--stats[=text|json]] [--trace=FILE]\n");
+      "             [--stats[=text|json]] [--trace=FILE] [--fuel=N]\n"
+      "exit codes: 0 ok, 1 compile error, 2 usage, 3 degraded, 4 runtime "
+      "trap\n");
 }
 
 bool startsWith(const char *S, const char *Prefix) {
@@ -162,6 +175,13 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "rapcc: --trace needs a file path\n");
         return 2;
       }
+    } else if (startsWith(Arg, "--fuel=")) {
+      long long Fuel = std::atoll(Arg + 7);
+      if (Fuel <= 0) {
+        std::fprintf(stderr, "rapcc: --fuel needs a positive budget\n");
+        return 2;
+      }
+      Opts.InterpFuel = static_cast<uint64_t>(Fuel);
     } else if (std::strcmp(Arg, "--run") == 0) {
       Dump.clear();
     } else if (Arg[0] == '-') {
@@ -251,10 +271,14 @@ int main(int argc, char **argv) {
   }
 
   Interpreter Interp(*CR.Prog);
-  RunResult R = Interp.run();
+  RunResult R = Interp.run("main", Opts.InterpFuel);
   if (!R.Ok) {
-    std::fprintf(stderr, "rapcc: runtime error: %s\n", R.Error.c_str());
-    return 1;
+    // Runtime traps get their own exit code (4): the compile succeeded, the
+    // *program* faulted. The structured trap names the kind and location.
+    std::fprintf(stderr, "rapcc: runtime trap: %s\n",
+                 R.TrapInfo.Kind != TrapKind::None ? R.TrapInfo.str().c_str()
+                                                   : R.Error.c_str());
+    return 4;
   }
   if (StatsMode == "json") {
     // The machine-readable path: one JSON document on stdout, with the

@@ -7,6 +7,8 @@
 #include "frontend/Lexer.h"
 
 #include <cctype>
+#include <cmath>
+#include <cstdint>
 #include <cstdlib>
 
 using namespace rap;
@@ -173,13 +175,45 @@ Token Lexer::lexNumber() {
     }
   }
   std::string Text = Source.substr(Start, Pos - Start);
+  if (Text.size() > MaxLiteralWidth) {
+    Diags.error(TokStart, "numeric literal is " + std::to_string(Text.size()) +
+                              " characters wide (limit " +
+                              std::to_string(MaxLiteralWidth) + ")");
+    Token T = makeToken(TokenKind::IntLiteral);
+    T.IntValue = 0;
+    return T;
+  }
   if (IsFloat) {
     Token T = makeToken(TokenKind::FloatLiteral);
     T.FloatValue = std::strtod(Text.c_str(), nullptr);
+    if (std::isinf(T.FloatValue)) {
+      Diags.error(TokStart,
+                  "float literal '" + Text + "' overflows a double");
+      T.FloatValue = 0.0;
+    }
     return T;
   }
   Token T = makeToken(TokenKind::IntLiteral);
-  T.IntValue = std::strtoll(Text.c_str(), nullptr, 10);
+  // Accumulate by hand so 64-bit overflow is a diagnostic, not a silently
+  // saturated value (strtoll clamps to INT64_MAX and only reports through
+  // errno).
+  uint64_t Value = 0;
+  bool Overflow = false;
+  for (char D : Text) {
+    uint64_t Digit = static_cast<uint64_t>(D - '0');
+    if (Value > (static_cast<uint64_t>(INT64_MAX) - Digit) / 10) {
+      Overflow = true;
+      break;
+    }
+    Value = Value * 10 + Digit;
+  }
+  if (Overflow) {
+    Diags.error(TokStart,
+                "integer literal '" + Text + "' does not fit in 64 bits");
+    T.IntValue = 0;
+    return T;
+  }
+  T.IntValue = static_cast<int64_t>(Value);
   return T;
 }
 
@@ -209,66 +243,112 @@ Token Lexer::lexIdentifier() {
   return T;
 }
 
-Token Lexer::next() {
-  skipWhitespaceAndComments();
-  TokStart = SourceLoc{Line, Col};
-  char C = peek();
-  if (C == '\0')
-    return makeToken(TokenKind::Eof);
-  if (std::isdigit(static_cast<unsigned char>(C)))
-    return lexNumber();
-  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
-    return lexIdentifier();
-
-  advance();
-  switch (C) {
-  case '(':
-    return makeToken(TokenKind::LParen);
-  case ')':
-    return makeToken(TokenKind::RParen);
-  case '{':
-    return makeToken(TokenKind::LBrace);
-  case '}':
-    return makeToken(TokenKind::RBrace);
-  case '[':
-    return makeToken(TokenKind::LBracket);
-  case ']':
-    return makeToken(TokenKind::RBracket);
-  case ',':
-    return makeToken(TokenKind::Comma);
-  case ';':
-    return makeToken(TokenKind::Semi);
-  case '+':
-    return makeToken(TokenKind::Plus);
-  case '-':
-    return makeToken(TokenKind::Minus);
-  case '*':
-    return makeToken(TokenKind::Star);
-  case '/':
-    return makeToken(TokenKind::Slash);
-  case '%':
-    return makeToken(TokenKind::Percent);
-  case '=':
-    return makeToken(match('=') ? TokenKind::EqEq : TokenKind::Assign);
-  case '!':
-    return makeToken(match('=') ? TokenKind::BangEq : TokenKind::Bang);
-  case '<':
-    return makeToken(match('=') ? TokenKind::LessEq : TokenKind::Less);
-  case '>':
-    return makeToken(match('=') ? TokenKind::GreaterEq : TokenKind::Greater);
-  case '&':
-    if (match('&'))
-      return makeToken(TokenKind::AmpAmp);
-    break;
-  case '|':
-    if (match('|'))
-      return makeToken(TokenKind::PipePipe);
-    break;
-  default:
-    break;
+/// Reports an unexpected byte. Printable ASCII is quoted verbatim;
+/// everything else (control bytes, UTF-8 lead/continuation bytes, ...) is
+/// rendered as a hex escape so hostile input cannot corrupt the diagnostic
+/// stream.
+void Lexer::reportBadByte(char C) {
+  unsigned char U = static_cast<unsigned char>(C);
+  if (U >= 0x20 && U < 0x7f) {
+    Diags.error(TokStart, std::string("unexpected character '") + C + "'");
+    return;
   }
-  Diags.error(TokStart, std::string("unexpected character '") + C + "'");
-  return makeToken(TokenKind::Eof);
+  static const char *Hex = "0123456789abcdef";
+  std::string Msg = "unexpected byte 0x";
+  Msg += Hex[U >> 4];
+  Msg += Hex[U & 0xf];
+  Diags.error(TokStart, Msg);
+}
+
+/// Skips a string literal (MiniC has none, but hostile or C-derived input
+/// may contain them): consumes to the closing quote or end of line so one
+/// stray quote does not cascade into an error per subsequent token.
+void Lexer::skipStringLiteral(char Quote) {
+  Diags.error(TokStart, Quote == '"'
+                            ? "string literals are not part of MiniC"
+                            : "character literals are not part of MiniC");
+  while (peek() != '\0' && peek() != '\n') {
+    if (peek() == '\\' && peek(1) != '\0') {
+      advance(); // skip the escape so \" does not close the literal
+      advance();
+      continue;
+    }
+    if (advance() == Quote)
+      return;
+  }
+  Diags.error(TokStart, Quote == '"' ? "unterminated string literal"
+                                     : "unterminated character literal");
+}
+
+Token Lexer::next() {
+  // Loops so that an unexpected byte is skipped and lexing continues with
+  // the next token; returning Eof here (as this lexer once did) silently
+  // discarded the rest of the input, masking every later error.
+  for (;;) {
+    skipWhitespaceAndComments();
+    TokStart = SourceLoc{Line, Col};
+    char C = peek();
+    if (C == '\0')
+      return makeToken(TokenKind::Eof);
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return lexNumber();
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+      return lexIdentifier();
+
+    advance();
+    if (C == '"' || C == '\'') {
+      skipStringLiteral(C);
+      continue;
+    }
+    switch (C) {
+    case '(':
+      return makeToken(TokenKind::LParen);
+    case ')':
+      return makeToken(TokenKind::RParen);
+    case '{':
+      return makeToken(TokenKind::LBrace);
+    case '}':
+      return makeToken(TokenKind::RBrace);
+    case '[':
+      return makeToken(TokenKind::LBracket);
+    case ']':
+      return makeToken(TokenKind::RBracket);
+    case ',':
+      return makeToken(TokenKind::Comma);
+    case ';':
+      return makeToken(TokenKind::Semi);
+    case '+':
+      return makeToken(TokenKind::Plus);
+    case '-':
+      return makeToken(TokenKind::Minus);
+    case '*':
+      return makeToken(TokenKind::Star);
+    case '/':
+      return makeToken(TokenKind::Slash);
+    case '%':
+      return makeToken(TokenKind::Percent);
+    case '=':
+      return makeToken(match('=') ? TokenKind::EqEq : TokenKind::Assign);
+    case '!':
+      return makeToken(match('=') ? TokenKind::BangEq : TokenKind::Bang);
+    case '<':
+      return makeToken(match('=') ? TokenKind::LessEq : TokenKind::Less);
+    case '>':
+      return makeToken(match('=') ? TokenKind::GreaterEq : TokenKind::Greater);
+    case '&':
+      if (match('&'))
+        return makeToken(TokenKind::AmpAmp);
+      break;
+    case '|':
+      if (match('|'))
+        return makeToken(TokenKind::PipePipe);
+      break;
+    default:
+      break;
+    }
+    reportBadByte(C);
+    // fall through to the next loop iteration: skip the byte, keep lexing
+  }
 }
 
 std::vector<Token> Lexer::lexAll() {

@@ -7,7 +7,11 @@
 /// \file
 /// Converts MiniC source text into a token stream. Supports // and /* */
 /// comments. Lexical errors are reported through the DiagnosticEngine and
-/// yield an Eof token so the parser stops cleanly.
+/// the offending bytes are skipped, so the rest of the input still lexes
+/// and later errors are still visible. Hostile input is bounded: numeric
+/// literals have a width cap and an overflow check, stray quotes recover at
+/// the closing quote or end of line, and non-printable bytes are reported
+/// as hex escapes.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +28,11 @@ namespace rap {
 
 class Lexer {
 public:
+  /// Longest accepted numeric literal spelling; anything wider is reported
+  /// and lexed as 0 so adversarial digit runs cannot feed strtod quadratic
+  /// work or silently misparse.
+  static constexpr size_t MaxLiteralWidth = 128;
+
   Lexer(std::string Source, DiagnosticEngine &Diags)
       : Source(std::move(Source)), Diags(Diags) {}
 
@@ -39,6 +48,8 @@ private:
   Token makeToken(TokenKind Kind) const;
   Token lexNumber();
   Token lexIdentifier();
+  void reportBadByte(char C);
+  void skipStringLiteral(char Quote);
 
   std::string Source;
   DiagnosticEngine &Diags;

@@ -6,9 +6,31 @@
 
 #include "frontend/Parser.h"
 
-#include <cassert>
-
 using namespace rap;
+
+/// RAII depth ticket for every recursive production. The counter spans
+/// statements and expressions alike because both recurse through the same
+/// native stack; MaxDepth is sized so that the deepest legal parse (plus
+/// Sema's and AstLowering's later walks over the same tree, whose frames
+/// are larger) stays far from any platform's stack limit.
+struct Parser::DepthGuard {
+  explicit DepthGuard(Parser &P) : P(P) { ++P.Depth; }
+  ~DepthGuard() { --P.Depth; }
+  Parser &P;
+};
+
+/// Reports the nesting-limit diagnostic once per parse (a 100k-paren input
+/// would otherwise drown real errors in repeats).
+bool Parser::depthExceeded() {
+  if (Depth <= MaxDepth)
+    return false;
+  if (!DepthReported) {
+    DepthReported = true;
+    Diags.error(peek().Loc, "nesting too deep (limit " +
+                                std::to_string(MaxDepth) + " levels)");
+  }
+  return true;
+}
 
 const Token &Parser::peek(unsigned Ahead) const {
   size_t P = Pos + Ahead;
@@ -164,6 +186,16 @@ StmtPtr Parser::parseBlock() {
 }
 
 StmtPtr Parser::parseStmt() {
+  DepthGuard Guard(*this);
+  if (depthExceeded()) {
+    // Consume one token so every enclosing loop makes progress, then let
+    // the statement-boundary synchronization skip the rest.
+    advance();
+    synchronize();
+    return nullptr;
+  }
+  // Each statement gets a fresh expression-size budget (see makeBinary).
+  ExprOps = 0;
   switch (peek().Kind) {
   case TokenKind::LBrace:
     return parseBlock();
@@ -291,9 +323,33 @@ StmtPtr Parser::parseReturn() {
 // Expressions (precedence climbing)
 //===----------------------------------------------------------------------===//
 
-ExprPtr Parser::parseExpr() { return parseOr(); }
+ExprPtr Parser::parseExpr() {
+  DepthGuard Guard(*this);
+  if (depthExceeded()) {
+    auto E = std::make_unique<Expr>(ExprKind::IntLit, peek().Loc);
+    E->IntValue = 0;
+    return E;
+  }
+  return parseOr();
+}
 
-static ExprPtr makeBinary(BinaryOp Op, SourceLoc Loc, ExprPtr L, ExprPtr R) {
+/// Builds a binary node, charging the statement's expression-size budget.
+/// Operator chains like `1+1+1+...` nest through this *left spine* without
+/// ever recursing in the parser, but Sema, lowering, and the Expr
+/// destructor all recurse over the resulting tree — so an unbounded chain
+/// is a stack overflow deferred to the next phase. Past the budget the
+/// right operand is dropped (a diagnostic is already in flight, the tree
+/// is never used).
+ExprPtr Parser::makeBinary(BinaryOp Op, SourceLoc Loc, ExprPtr L, ExprPtr R) {
+  if (++ExprOps > MaxExprOps) {
+    if (!ExprOpsReported) {
+      ExprOpsReported = true;
+      Diags.error(Loc, "expression too complex (more than " +
+                           std::to_string(MaxExprOps) +
+                           " operators in one statement)");
+    }
+    return L;
+  }
   auto E = std::make_unique<Expr>(ExprKind::Binary, Loc);
   E->BinOp = Op;
   E->Lhs = std::move(L);
@@ -386,6 +442,14 @@ ExprPtr Parser::parseMultiplicative() {
 }
 
 ExprPtr Parser::parseUnary() {
+  // parseUnary recurses into itself directly (never through parseExpr), so
+  // `!!!!...1` needs its own depth ticket.
+  DepthGuard Guard(*this);
+  if (depthExceeded()) {
+    auto E = std::make_unique<Expr>(ExprKind::IntLit, peek().Loc);
+    E->IntValue = 0;
+    return E;
+  }
   if (check(TokenKind::Minus)) {
     SourceLoc Loc = advance().Loc;
     auto E = std::make_unique<Expr>(ExprKind::Unary, Loc);

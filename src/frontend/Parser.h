@@ -25,12 +25,23 @@ namespace rap {
 
 class Parser {
 public:
+  /// Hostile-input bounds (see DESIGN.md §10). MaxDepth caps recursive
+  /// nesting (parens, blocks, unary chains); MaxExprOps caps binary
+  /// operators per statement, bounding the left-spine depth that Sema,
+  /// lowering, and the Expr destructor later recurse over. Exceeding either
+  /// is a diagnostic, never a crash.
+  static constexpr int MaxDepth = 256;
+  static constexpr int MaxExprOps = 2048;
+
   Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
       : Tokens(std::move(Tokens)), Diags(Diags) {}
 
   TranslationUnit parseTranslationUnit();
 
 private:
+  struct DepthGuard;
+
+  bool depthExceeded();
   const Token &peek(unsigned Ahead = 0) const;
   const Token &advance();
   bool check(TokenKind Kind) const { return peek().Kind == Kind; }
@@ -51,6 +62,7 @@ private:
   StmtPtr parseReturn();
 
   ExprPtr parseExpr();
+  ExprPtr makeBinary(BinaryOp Op, SourceLoc Loc, ExprPtr L, ExprPtr R);
   ExprPtr parseOr();
   ExprPtr parseAnd();
   ExprPtr parseEquality();
@@ -63,6 +75,10 @@ private:
   std::vector<Token> Tokens;
   DiagnosticEngine &Diags;
   size_t Pos = 0;
+  int Depth = 0;          ///< live recursion depth (DepthGuard tickets)
+  int ExprOps = 0;        ///< binary operators in the current statement
+  bool DepthReported = false;
+  bool ExprOpsReported = false;
 };
 
 } // namespace rap

@@ -6,7 +6,6 @@
 
 #include "frontend/Sema.h"
 
-#include <cassert>
 #include <map>
 #include <vector>
 
@@ -67,10 +66,20 @@ private:
   //===------------------------------------------------------------------===//
 
   void pushScope() { Scopes.emplace_back(); }
-  void popScope() { Scopes.pop_back(); }
+  void popScope() {
+    if (!Scopes.empty())
+      Scopes.pop_back();
+  }
 
   bool declareLocal(const std::string &Name, TypeKind Type, SourceLoc Loc) {
-    assert(!Scopes.empty() && "no active scope");
+    // A declaration outside any scope means the AST is malformed (possible
+    // after aggressive parser error recovery); report instead of asserting
+    // so release builds fail safely.
+    if (Scopes.empty()) {
+      Diags.error(Loc, "internal: declaration of '" + Name +
+                           "' outside any scope");
+      return false;
+    }
     auto [It, Inserted] = Scopes.back().emplace(Name, Type);
     (void)It;
     if (!Inserted) {
@@ -102,9 +111,17 @@ private:
     pushScope();
     for (ParamDecl &P : F.Params)
       declareLocal(P.Name, P.Type, P.Loc);
-    checkStmt(*F.Body);
+    checkStmtPtr(F.Body.get());
     popScope();
     CurFunc = nullptr;
+  }
+
+  /// Null-tolerant entry point: parser error recovery (e.g. the recursion
+  /// depth guard) can leave null statement slots behind. They always come
+  /// with a diagnostic, so skipping them is safe.
+  void checkStmtPtr(Stmt *S) {
+    if (S)
+      checkStmt(*S);
   }
 
   void checkStmt(Stmt &S) {
@@ -112,7 +129,7 @@ private:
     case StmtKind::Block:
       pushScope();
       for (auto &Child : S.Body)
-        checkStmt(*Child);
+        checkStmtPtr(Child.get());
       popScope();
       return;
     case StmtKind::VarDecl:
@@ -128,18 +145,15 @@ private:
     case StmtKind::If:
     case StmtKind::While:
       checkCond(S.Cond);
-      checkStmt(*S.Then);
-      if (S.Else)
-        checkStmt(*S.Else);
+      checkStmtPtr(S.Then.get());
+      checkStmtPtr(S.Else.get());
       return;
     case StmtKind::For:
       pushScope(); // the for-init declaration scopes over the loop
-      if (S.ForInit)
-        checkStmt(*S.ForInit);
+      checkStmtPtr(S.ForInit.get());
       checkCond(S.Cond);
-      if (S.ForStep)
-        checkStmt(*S.ForStep);
-      checkStmt(*S.Then);
+      checkStmtPtr(S.ForStep.get());
+      checkStmtPtr(S.Then.get());
       popScope();
       return;
     case StmtKind::Return: {
@@ -160,7 +174,8 @@ private:
       return;
     }
     case StmtKind::ExprStmt:
-      checkExpr(*S.Value, /*AllowVoid=*/true);
+      if (S.Value)
+        checkExpr(*S.Value, /*AllowVoid=*/true);
       return;
     }
   }
@@ -175,6 +190,10 @@ private:
   }
 
   void checkAssign(Stmt &S) {
+    if (!S.Value) {
+      Diags.error(S.Loc, "internal: assignment without a value expression");
+      return;
+    }
     checkExpr(*S.Value);
     if (S.Index) {
       checkExpr(*S.Index);

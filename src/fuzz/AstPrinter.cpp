@@ -1,0 +1,304 @@
+//===- fuzz/AstPrinter.cpp - AST back to MiniC source -----------------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/AstPrinter.h"
+
+#include <cstdint>
+#include <sstream>
+
+using namespace rap;
+
+namespace {
+
+const char *typeName(TypeKind T) {
+  switch (T) {
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::Float:
+    return "float";
+  case TypeKind::Void:
+    return "void";
+  }
+  return "int";
+}
+
+const char *binOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Mod:
+    return "%";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::LogicalAnd:
+    return "&&";
+  case BinaryOp::LogicalOr:
+    return "||";
+  }
+  return "+";
+}
+
+class Printer {
+public:
+  std::string print(const TranslationUnit &TU) {
+    for (const GlobalDecl &G : TU.Globals) {
+      Out << typeName(G.Type) << " " << G.Name;
+      if (G.ArraySize >= 0)
+        Out << "[" << G.ArraySize << "]";
+      Out << ";\n";
+    }
+    for (const auto &F : TU.Functions)
+      printFunction(*F);
+    return Out.str();
+  }
+
+  void printExpr(const Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::IntLit:
+      // Negative literals print through subtraction: MiniC has no negative
+      // literal token. INT64_MIN needs its own spelling because its
+      // magnitude (2^63) is not lexable either.
+      if (E.IntValue == INT64_MIN)
+        Out << "(0 - " << INT64_MAX << " - 1)";
+      else if (E.IntValue < 0)
+        Out << "(0 - " << -E.IntValue << ")";
+      else
+        Out << E.IntValue;
+      return;
+    case ExprKind::FloatLit:
+      Out << E.FloatValue;
+      if (E.FloatValue == static_cast<int64_t>(E.FloatValue))
+        Out << ".0";
+      return;
+    case ExprKind::VarRef:
+      Out << E.Name;
+      return;
+    case ExprKind::ArrayRef:
+      Out << E.Name << "[";
+      printSub(E.Sub.get());
+      Out << "]";
+      return;
+    case ExprKind::Call: {
+      Out << E.Name << "(";
+      bool First = true;
+      for (const auto &A : E.Args) {
+        if (!First)
+          Out << ", ";
+        First = false;
+        printSub(A.get());
+      }
+      Out << ")";
+      return;
+    }
+    case ExprKind::Binary:
+      Out << "(";
+      printSub(E.Lhs.get());
+      Out << " " << binOpSpelling(E.BinOp) << " ";
+      printSub(E.Rhs.get());
+      Out << ")";
+      return;
+    case ExprKind::Unary:
+      Out << "(" << (E.UnOp == UnaryOp::Neg ? "-" : "!");
+      printSub(E.Sub.get());
+      Out << ")";
+      return;
+    case ExprKind::Cast:
+      // Implicit; MiniC has no cast syntax. Print the operand and let Sema
+      // re-insert the conversion.
+      printSub(E.Sub.get());
+      return;
+    }
+    Out << "0";
+  }
+
+private:
+  // Mutators may leave null children behind; print a harmless literal
+  // instead of dereferencing.
+  void printSub(const Expr *E) {
+    if (E)
+      printExpr(*E);
+    else
+      Out << "0";
+  }
+
+  void printFunction(const FuncDecl &F) {
+    Out << typeName(F.ReturnType) << " " << F.Name << "(";
+    bool First = true;
+    for (const ParamDecl &P : F.Params) {
+      if (!First)
+        Out << ", ";
+      First = false;
+      Out << typeName(P.Type) << " " << P.Name;
+    }
+    Out << ") ";
+    if (F.Body && F.Body->Kind == StmtKind::Block)
+      printBlock(*F.Body);
+    else
+      Out << "{\n}";
+    Out << "\n";
+  }
+
+  void printBlock(const Stmt &B) {
+    Out << "{\n";
+    ++Indent;
+    for (const auto &S : B.Body)
+      if (S)
+        printStmt(*S);
+    --Indent;
+    indent();
+    Out << "}";
+  }
+
+  void printStmt(const Stmt &S) {
+    indent();
+    switch (S.Kind) {
+    case StmtKind::Block:
+      printBlock(S);
+      Out << "\n";
+      return;
+    case StmtKind::VarDecl:
+      Out << typeName(S.DeclType) << " " << S.Name << " = ";
+      printValueOrZero(S.Value.get());
+      Out << ";\n";
+      return;
+    case StmtKind::Assign:
+      Out << S.Name;
+      if (S.Index) {
+        Out << "[";
+        printSub(S.Index.get());
+        Out << "]";
+      }
+      Out << " = ";
+      printValueOrZero(S.Value.get());
+      Out << ";\n";
+      return;
+    case StmtKind::If:
+      Out << "if (";
+      printValueOrZero(S.Cond.get());
+      Out << ") ";
+      printBodyAsBlock(S.Then.get());
+      if (S.Else) {
+        Out << " else ";
+        printBodyAsBlock(S.Else.get());
+      }
+      Out << "\n";
+      return;
+    case StmtKind::While:
+      Out << "while (";
+      printValueOrZero(S.Cond.get());
+      Out << ") ";
+      printBodyAsBlock(S.Then.get());
+      Out << "\n";
+      return;
+    case StmtKind::For:
+      // The parser only builds `for (decl-or-assign; cond; assign)`, so the
+      // header parts print without their statement terminators.
+      Out << "for (";
+      printForClause(S.ForInit.get());
+      Out << "; ";
+      printValueOrZero(S.Cond.get());
+      Out << "; ";
+      printForClause(S.ForStep.get());
+      Out << ") ";
+      printBodyAsBlock(S.Then.get());
+      Out << "\n";
+      return;
+    case StmtKind::Return:
+      Out << "return";
+      if (S.Value) {
+        Out << " ";
+        printExpr(*S.Value);
+      }
+      Out << ";\n";
+      return;
+    case StmtKind::ExprStmt:
+      printValueOrZero(S.Value.get());
+      Out << ";\n";
+      return;
+    }
+  }
+
+  /// A for-header clause: a VarDecl or Assign without the ';'.
+  void printForClause(const Stmt *S) {
+    if (!S)
+      return;
+    if (S->Kind == StmtKind::VarDecl) {
+      Out << typeName(S->DeclType) << " " << S->Name << " = ";
+      printValueOrZero(S->Value.get());
+    } else if (S->Kind == StmtKind::Assign) {
+      Out << S->Name;
+      if (S->Index) {
+        Out << "[";
+        printSub(S->Index.get());
+        Out << "]";
+      }
+      Out << " = ";
+      printValueOrZero(S->Value.get());
+    }
+  }
+
+  /// If/while/for bodies always print braced, whatever the tree holds.
+  void printBodyAsBlock(const Stmt *S) {
+    if (S && S->Kind == StmtKind::Block) {
+      printBlock(*S);
+      return;
+    }
+    Out << "{\n";
+    ++Indent;
+    if (S)
+      printStmt(*S);
+    --Indent;
+    indent();
+    Out << "}";
+  }
+
+  void printValueOrZero(const Expr *E) {
+    if (E)
+      printExpr(*E);
+    else
+      Out << "0";
+  }
+
+  void indent() {
+    for (int I = 0; I != Indent; ++I)
+      Out << "  ";
+  }
+
+public:
+  std::string str() const { return Out.str(); }
+
+private:
+  std::ostringstream Out;
+  int Indent = 0;
+};
+
+} // namespace
+
+std::string rap::fuzz::printMiniC(const TranslationUnit &TU) {
+  return Printer().print(TU);
+}
+
+std::string rap::fuzz::printExpr(const Expr &E) {
+  Printer P;
+  P.printExpr(E);
+  return P.str();
+}

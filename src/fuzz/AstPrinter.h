@@ -1,0 +1,37 @@
+//===- fuzz/AstPrinter.h - AST back to MiniC source -------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a MiniC AST back to parseable source text. The fuzzer's AST-level
+/// mutator edits the tree in place and re-prints it, so mutants stay
+/// syntactically valid and the interesting failures move past the parser into
+/// Sema, lowering, allocation, and execution.
+///
+/// The printer is total over every node the parser can produce (and the
+/// implicit Cast nodes Sema inserts, which print as their operand), fully
+/// parenthesizes expressions so it never has to reason about precedence, and
+/// is deterministic: printing the same tree twice yields identical bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_FUZZ_ASTPRINTER_H
+#define RAP_FUZZ_ASTPRINTER_H
+
+#include "frontend/Ast.h"
+
+#include <string>
+
+namespace rap::fuzz {
+
+/// Renders \p TU as MiniC source.
+std::string printMiniC(const TranslationUnit &TU);
+
+/// Renders one expression (used in failure details and tests).
+std::string printExpr(const Expr &E);
+
+} // namespace rap::fuzz
+
+#endif // RAP_FUZZ_ASTPRINTER_H

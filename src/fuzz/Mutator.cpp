@@ -1,0 +1,390 @@
+//===- fuzz/Mutator.cpp - Byte/token/AST source mutators --------------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Mutator.h"
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "fuzz/AstPrinter.h"
+#include "support/Diagnostics.h"
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+using namespace rap;
+using namespace rap::fuzz;
+
+namespace {
+
+using Rng = std::mt19937;
+
+unsigned pick(Rng &R, unsigned N) { return static_cast<unsigned>(R() % N); }
+
+//===----------------------------------------------------------------------===//
+// Byte level
+//===----------------------------------------------------------------------===//
+
+std::string mutateBytes(std::string S, Rng &R) {
+  if (S.empty())
+    S = "int main() { return 0; }\n";
+  // Interesting bytes: MiniC punctuation (to create/destroy structure),
+  // digits (to grow literals), and hostile non-source bytes.
+  static const char Alphabet[] = "(){}[];=+-*/%<>!&|,0123456789 \t\n"
+                                 "\x00\x7f\x80\xff\"'@$~`#\\";
+  unsigned Ops = 1 + pick(R, 4);
+  for (unsigned I = 0; I != Ops && !S.empty(); ++I) {
+    size_t P = pick(R, static_cast<unsigned>(S.size()));
+    switch (pick(R, 5)) {
+    case 0: // flip one byte
+      S[P] = Alphabet[pick(R, sizeof(Alphabet) - 1)];
+      break;
+    case 1: // delete a short span
+      S.erase(P, 1 + pick(R, 8));
+      break;
+    case 2: { // duplicate a span (grows nesting and literals)
+      size_t Len = std::min<size_t>(1 + pick(R, 16), S.size() - P);
+      std::string Span = S.substr(P, Len);
+      // Occasionally stutter the span many times: this is what builds the
+      // "((((((..." and "11111..." inputs that found real stack overflows.
+      unsigned Times = pick(R, 8) == 0 ? 64 + pick(R, 192) : 1;
+      std::string Rep;
+      for (unsigned T = 0; T != Times; ++T)
+        Rep += Span;
+      S.insert(P, Rep);
+      break;
+    }
+    case 3: // insert raw bytes
+      for (unsigned N = 1 + pick(R, 6); N; --N)
+        S.insert(S.begin() + static_cast<ptrdiff_t>(P),
+                 Alphabet[pick(R, sizeof(Alphabet) - 1)]);
+      break;
+    default: // truncate (simulates a cut-off file)
+      S.resize(P);
+      break;
+    }
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Token level
+//===----------------------------------------------------------------------===//
+
+/// Re-renderable spelling of a token. Identifier/literal tokens carry their
+/// own text/value; fixed tokens get their MiniC spelling.
+std::string tokenSpelling(const Token &T) {
+  switch (T.Kind) {
+  case TokenKind::Eof:
+    return "";
+  case TokenKind::Identifier:
+    return T.Text;
+  case TokenKind::IntLiteral:
+    return std::to_string(T.IntValue);
+  case TokenKind::FloatLiteral:
+    return std::to_string(T.FloatValue);
+  case TokenKind::KwInt:
+    return "int";
+  case TokenKind::KwFloat:
+    return "float";
+  case TokenKind::KwVoid:
+    return "void";
+  case TokenKind::KwIf:
+    return "if";
+  case TokenKind::KwElse:
+    return "else";
+  case TokenKind::KwWhile:
+    return "while";
+  case TokenKind::KwFor:
+    return "for";
+  case TokenKind::KwReturn:
+    return "return";
+  case TokenKind::LParen:
+    return "(";
+  case TokenKind::RParen:
+    return ")";
+  case TokenKind::LBrace:
+    return "{";
+  case TokenKind::RBrace:
+    return "}";
+  case TokenKind::LBracket:
+    return "[";
+  case TokenKind::RBracket:
+    return "]";
+  case TokenKind::Comma:
+    return ",";
+  case TokenKind::Semi:
+    return ";";
+  case TokenKind::Assign:
+    return "=";
+  case TokenKind::Plus:
+    return "+";
+  case TokenKind::Minus:
+    return "-";
+  case TokenKind::Star:
+    return "*";
+  case TokenKind::Slash:
+    return "/";
+  case TokenKind::Percent:
+    return "%";
+  case TokenKind::Bang:
+    return "!";
+  case TokenKind::EqEq:
+    return "==";
+  case TokenKind::BangEq:
+    return "!=";
+  case TokenKind::Less:
+    return "<";
+  case TokenKind::LessEq:
+    return "<=";
+  case TokenKind::Greater:
+    return ">";
+  case TokenKind::GreaterEq:
+    return ">=";
+  case TokenKind::AmpAmp:
+    return "&&";
+  case TokenKind::PipePipe:
+    return "||";
+  }
+  return "";
+}
+
+/// Spellings a replacement token is drawn from: every fixed token plus a few
+/// boundary literals and identifiers (known names collide with declarations;
+/// unknown ones drive name-resolution errors).
+const char *replacementSpelling(Rng &R) {
+  static const char *Pool[] = {
+      "int",    "float", "void", "if",  "else", "while", "for",
+      "return", "(",     ")",    "{",   "}",    "[",     "]",
+      ",",      ";",     "=",    "+",   "-",    "*",     "/",
+      "%",      "!",     "==",   "!=",  "<",    "<=",    ">",
+      ">=",     "&&",    "||",   "0",   "1",    "9223372036854775807",
+      "9223372036854775808", "main",   "ga",  "gs",   "mix",   "undefined_name",
+  };
+  return Pool[pick(R, sizeof(Pool) / sizeof(Pool[0]))];
+}
+
+std::string renderTokens(const std::vector<std::string> &Spellings) {
+  std::string Out;
+  for (const std::string &S : Spellings) {
+    if (S.empty())
+      continue;
+    if (!Out.empty())
+      Out += ' ';
+    Out += S;
+  }
+  Out += '\n';
+  return Out;
+}
+
+std::string mutateTokens(const std::string &Source, Rng &R) {
+  DiagnosticEngine Diags;
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Toks = Lex.lexAll();
+  while (!Toks.empty() && Toks.back().Kind == TokenKind::Eof)
+    Toks.pop_back();
+  if (Toks.empty())
+    return mutateBytes(Source, R);
+
+  std::vector<std::string> Sp;
+  Sp.reserve(Toks.size());
+  for (const Token &T : Toks)
+    Sp.push_back(tokenSpelling(T));
+
+  unsigned Ops = 1 + pick(R, 4);
+  for (unsigned I = 0; I != Ops && !Sp.empty(); ++I) {
+    size_t P = pick(R, static_cast<unsigned>(Sp.size()));
+    switch (pick(R, 4)) {
+    case 0:
+      Sp.erase(Sp.begin() + static_cast<ptrdiff_t>(P));
+      break;
+    case 1: // duplicate (possibly many times: nesting/chain stress)
+    {
+      unsigned Times = pick(R, 8) == 0 ? 32 + pick(R, 96) : 1;
+      Sp.insert(Sp.begin() + static_cast<ptrdiff_t>(P), Times, Sp[P]);
+      break;
+    }
+    case 2: { // swap with another position
+      size_t Q = pick(R, static_cast<unsigned>(Sp.size()));
+      std::swap(Sp[P], Sp[Q]);
+      break;
+    }
+    default:
+      Sp[P] = replacementSpelling(R);
+      break;
+    }
+  }
+  return renderTokens(Sp);
+}
+
+//===----------------------------------------------------------------------===//
+// AST level
+//===----------------------------------------------------------------------===//
+
+/// Collects mutable positions in the tree. Statements are collected as the
+/// blocks that own them (so deletion/duplication keeps ownership simple);
+/// expressions as raw pointers for in-place edits.
+struct TreeIndex {
+  std::vector<Stmt *> Blocks; ///< every Block statement (incl. func bodies)
+  std::vector<Stmt *> Loops;  ///< While/For nodes
+  std::vector<Stmt *> Ifs;
+  std::vector<Expr *> Exprs;
+
+  void walkExpr(Expr *E) {
+    if (!E)
+      return;
+    Exprs.push_back(E);
+    walkExpr(E->Sub.get());
+    walkExpr(E->Lhs.get());
+    walkExpr(E->Rhs.get());
+    for (auto &A : E->Args)
+      walkExpr(A.get());
+  }
+
+  void walkStmt(Stmt *S) {
+    if (!S)
+      return;
+    if (S->Kind == StmtKind::Block)
+      Blocks.push_back(S);
+    if (S->Kind == StmtKind::While || S->Kind == StmtKind::For)
+      Loops.push_back(S);
+    if (S->Kind == StmtKind::If)
+      Ifs.push_back(S);
+    walkExpr(S->Value.get());
+    walkExpr(S->Index.get());
+    walkExpr(S->Cond.get());
+    for (auto &C : S->Body)
+      walkStmt(C.get());
+    walkStmt(S->Then.get());
+    walkStmt(S->Else.get());
+    walkStmt(S->ForInit.get());
+    walkStmt(S->ForStep.get());
+  }
+};
+
+void mutateTreeOnce(TranslationUnit &TU, Rng &R) {
+  TreeIndex Ix;
+  for (auto &F : TU.Functions)
+    Ix.walkStmt(F->Body.get());
+
+  switch (pick(R, 6)) {
+  case 0: { // delete a statement
+    if (Ix.Blocks.empty())
+      return;
+    Stmt *B = Ix.Blocks[pick(R, static_cast<unsigned>(Ix.Blocks.size()))];
+    if (B->Body.empty())
+      return;
+    B->Body.erase(B->Body.begin() +
+                  static_cast<ptrdiff_t>(pick(
+                      R, static_cast<unsigned>(B->Body.size()))));
+    return;
+  }
+  case 1: { // swap two statements in one block
+    if (Ix.Blocks.empty())
+      return;
+    Stmt *B = Ix.Blocks[pick(R, static_cast<unsigned>(Ix.Blocks.size()))];
+    if (B->Body.size() < 2)
+      return;
+    size_t P = pick(R, static_cast<unsigned>(B->Body.size()));
+    size_t Q = pick(R, static_cast<unsigned>(B->Body.size()));
+    std::swap(B->Body[P], B->Body[Q]);
+    return;
+  }
+  case 2: { // flip a binary operator
+    std::vector<Expr *> Bins;
+    for (Expr *E : Ix.Exprs)
+      if (E->Kind == ExprKind::Binary)
+        Bins.push_back(E);
+    if (Bins.empty())
+      return;
+    Expr *E = Bins[pick(R, static_cast<unsigned>(Bins.size()))];
+    // Div/Mod are over-represented on purpose: they create the divide-by-
+    // zero traps the differential oracle compares across allocators.
+    static const BinaryOp Ops[] = {BinaryOp::Add, BinaryOp::Sub,
+                                   BinaryOp::Mul, BinaryOp::Div,
+                                   BinaryOp::Div, BinaryOp::Mod,
+                                   BinaryOp::Lt,  BinaryOp::Eq};
+    E->BinOp = Ops[pick(R, sizeof(Ops) / sizeof(Ops[0]))];
+    return;
+  }
+  case 3: { // boundary-value an int literal
+    std::vector<Expr *> Lits;
+    for (Expr *E : Ix.Exprs)
+      if (E->Kind == ExprKind::IntLit)
+        Lits.push_back(E);
+    if (Lits.empty())
+      return;
+    Expr *E = Lits[pick(R, static_cast<unsigned>(Lits.size()))];
+    static const int64_t Boundary[] = {0,  1,  -1, INT64_MAX, INT64_MIN,
+                                       12, 11, 13, 1000000007};
+    E->IntValue = Boundary[pick(R, sizeof(Boundary) / sizeof(Boundary[0]))];
+    return;
+  }
+  case 4: { // swap an if's branches
+    if (Ix.Ifs.empty())
+      return;
+    Stmt *S = Ix.Ifs[pick(R, static_cast<unsigned>(Ix.Ifs.size()))];
+    std::swap(S->Then, S->Else);
+    return;
+  }
+  default: { // perturb a loop bound (off-by-one to past-the-end)
+    std::vector<Expr *> CondLits;
+    for (Stmt *L : Ix.Loops) {
+      TreeIndex Sub;
+      Sub.walkExpr(L->Cond.get());
+      for (Expr *E : Sub.Exprs)
+        if (E->Kind == ExprKind::IntLit)
+          CondLits.push_back(E);
+    }
+    if (CondLits.empty())
+      return;
+    Expr *E = CondLits[pick(R, static_cast<unsigned>(CondLits.size()))];
+    E->IntValue += static_cast<int64_t>(pick(R, 5)) - 1; // -1..+3
+    return;
+  }
+  }
+}
+
+std::string mutateAst(const std::string &Source, Rng &R) {
+  DiagnosticEngine Diags;
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.lexAll(), Diags);
+  TranslationUnit TU = P.parseTranslationUnit();
+  if (Diags.hasErrors())
+    return mutateTokens(Source, R); // no tree to mutate
+  unsigned Ops = 1 + pick(R, 3);
+  for (unsigned I = 0; I != Ops; ++I)
+    mutateTreeOnce(TU, R);
+  return printMiniC(TU);
+}
+
+} // namespace
+
+const char *rap::fuzz::mutationLevelName(MutationLevel Level) {
+  switch (Level) {
+  case MutationLevel::Byte:
+    return "byte";
+  case MutationLevel::Token:
+    return "token";
+  case MutationLevel::Ast:
+    return "ast";
+  }
+  return "unknown";
+}
+
+std::string rap::fuzz::mutate(const std::string &Source, MutationLevel Level,
+                              uint32_t Seed) {
+  Rng R(Seed);
+  switch (Level) {
+  case MutationLevel::Byte:
+    return mutateBytes(Source, R);
+  case MutationLevel::Token:
+    return mutateTokens(Source, R);
+  case MutationLevel::Ast:
+    return mutateAst(Source, R);
+  }
+  return Source;
+}

@@ -1,0 +1,49 @@
+//===- fuzz/Mutator.h - Byte/token/AST source mutators ----------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic mutation of MiniC source at three levels of structure:
+///
+/// * Byte — flips, deletions, duplications, truncations, and raw-byte
+///   insertions. Exercises the lexer's hostile-input paths (bad bytes,
+///   unterminated constructs, monster literals).
+/// * Token — lexes the input and deletes/duplicates/swaps/replaces tokens
+///   before re-rendering. Produces inputs that look like MiniC locally but
+///   are structurally wrong: the parser's recovery territory.
+/// * Ast — parses the input and edits the tree (statement shuffles, operator
+///   flips, literal boundary values, condition rewrites), then prints it
+///   back with AstPrinter. Mutants stay parseable, pushing failures into
+///   Sema, lowering, allocation, and differential execution.
+///
+/// All mutators are pure functions of (source, seed): the same pair always
+/// yields the same mutant, so every fuzzing failure is replayable from two
+/// integers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_FUZZ_MUTATOR_H
+#define RAP_FUZZ_MUTATOR_H
+
+#include <cstdint>
+#include <string>
+
+namespace rap::fuzz {
+
+enum class MutationLevel { Byte, Token, Ast };
+
+/// Stable name for reports ("byte", "token", "ast").
+const char *mutationLevelName(MutationLevel Level);
+
+/// Returns a mutant of \p Source. Deterministic in (Source, Level, Seed).
+/// The Ast level falls back to Token when \p Source does not parse (a tree
+/// mutator needs a tree), and Token falls back to Byte when lexing yields
+/// nothing to work with.
+std::string mutate(const std::string &Source, MutationLevel Level,
+                   uint32_t Seed);
+
+} // namespace rap::fuzz
+
+#endif // RAP_FUZZ_MUTATOR_H

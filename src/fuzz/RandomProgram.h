@@ -1,4 +1,4 @@
-//===- tests/RandomProgram.h - Seeded MiniC program generator ---*- C++ -*-===//
+//===- fuzz/RandomProgram.h - Seeded MiniC program generator ----*- C++ -*-===//
 //
 // Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
 //
@@ -6,22 +6,23 @@
 ///
 /// \file
 /// Generates random — but always terminating, in-bounds, and
-/// deterministic — MiniC programs for differential testing of the register
-/// allocators (DESIGN.md oracle #2). Programs use integer arithmetic only so
+/// deterministic — MiniC programs: the well-formed seed corpus of the fuzzer
+/// (rapfuzz mutates these) and the generator behind the differential tests
+/// (DESIGN.md oracle #2). Programs use integer arithmetic only so
 /// results compare exactly; every variable is initialized at declaration;
 /// loops are counted `for` loops whose induction variable is never
 /// reassigned; array indices are loop variables or in-range literals.
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef RAP_TESTS_RANDOMPROGRAM_H
-#define RAP_TESTS_RANDOMPROGRAM_H
+#ifndef RAP_FUZZ_RANDOMPROGRAM_H
+#define RAP_FUZZ_RANDOMPROGRAM_H
 
 #include <random>
 #include <string>
 #include <vector>
 
-namespace rap::test {
+namespace rap::fuzz {
 
 class RandomProgramBuilder {
 public:
@@ -186,6 +187,6 @@ private:
   unsigned NextTemp = 0;
 };
 
-} // namespace rap::test
+} // namespace rap::fuzz
 
-#endif // RAP_TESTS_RANDOMPROGRAM_H
+#endif // RAP_FUZZ_RANDOMPROGRAM_H

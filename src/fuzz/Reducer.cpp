@@ -1,0 +1,148 @@
+//===- fuzz/Reducer.cpp - Delta-debugging repro reduction -------------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Reducer.h"
+
+#include <cctype>
+#include <vector>
+
+using namespace rap::fuzz;
+
+namespace {
+
+/// Splits into lines (keeping content, not the terminators).
+std::vector<std::string> splitLines(const std::string &S) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : S) {
+    if (C == '\n') {
+      Out.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  if (!Cur.empty())
+    Out.push_back(Cur);
+  return Out;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines) {
+  std::string Out;
+  for (const std::string &L : Lines) {
+    Out += L;
+    Out += '\n';
+  }
+  return Out;
+}
+
+/// Splits into lexical units: identifier/number runs, whitespace runs, and
+/// single punctuation bytes. Joining units back is the identity.
+std::vector<std::string> splitUnits(const std::string &S) {
+  std::vector<std::string> Out;
+  size_t I = 0;
+  auto isWord = [](unsigned char C) {
+    return std::isalnum(C) || C == '_' || C == '.';
+  };
+  while (I < S.size()) {
+    size_t J = I + 1;
+    if (isWord(static_cast<unsigned char>(S[I]))) {
+      while (J < S.size() && isWord(static_cast<unsigned char>(S[J])))
+        ++J;
+    } else if (std::isspace(static_cast<unsigned char>(S[I]))) {
+      while (J < S.size() && std::isspace(static_cast<unsigned char>(S[J])))
+        ++J;
+    }
+    Out.push_back(S.substr(I, J - I));
+    I = J;
+  }
+  return Out;
+}
+
+std::string joinUnits(const std::vector<std::string> &Units) {
+  std::string Out;
+  for (const std::string &U : Units)
+    Out += U;
+  return Out;
+}
+
+/// One ddmin-style pass over \p Parts: tries removing chunks of decreasing
+/// size; an accepted removal restarts at the same granularity. Returns true
+/// if anything was removed.
+template <typename Join>
+bool ddminPass(std::vector<std::string> &Parts, const Join &JoinFn,
+               const ReducePredicate &StillFails, size_t MaxCalls,
+               size_t &Calls, bool &Exhausted) {
+  bool Removed = false;
+  for (size_t Chunk = Parts.size() / 2; Chunk >= 1;) {
+    bool RemovedAtThisChunk = false;
+    for (size_t Start = 0; Start + Chunk <= Parts.size();) {
+      if (Calls >= MaxCalls) {
+        Exhausted = true;
+        return Removed;
+      }
+      std::vector<std::string> Candidate;
+      Candidate.reserve(Parts.size() - Chunk);
+      Candidate.insert(Candidate.end(), Parts.begin(),
+                       Parts.begin() + static_cast<ptrdiff_t>(Start));
+      Candidate.insert(Candidate.end(),
+                       Parts.begin() + static_cast<ptrdiff_t>(Start + Chunk),
+                       Parts.end());
+      ++Calls;
+      if (StillFails(JoinFn(Candidate))) {
+        Parts = std::move(Candidate);
+        Removed = RemovedAtThisChunk = true;
+        // Same Start now names the next chunk; do not advance.
+      } else {
+        ++Start;
+      }
+    }
+    if (!RemovedAtThisChunk) {
+      if (Chunk == 1)
+        break;
+      Chunk = Chunk / 2;
+    }
+    // else: retry the same chunk size on the shrunken input.
+  }
+  return Removed;
+}
+
+} // namespace
+
+ReduceResult rap::fuzz::reduceSource(const std::string &Source,
+                                     const ReducePredicate &StillFails,
+                                     size_t MaxCalls) {
+  ReduceResult Res;
+  Res.Reduced = Source;
+
+  // Iterate line-pass then unit-pass until neither shrinks the input. The
+  // line pass strips whole statements/functions cheaply; the unit pass then
+  // erodes what is left inside the surviving lines, which can unlock
+  // further line removals (e.g. a call site gone lets its callee go).
+  bool Changed = true;
+  while (Changed && !Res.BudgetExhausted) {
+    Changed = false;
+
+    std::vector<std::string> Lines = splitLines(Res.Reduced);
+    if (Lines.size() > 1 &&
+        ddminPass(Lines, joinLines, StillFails, MaxCalls, Res.PredicateCalls,
+                  Res.BudgetExhausted)) {
+      Res.Reduced = joinLines(Lines);
+      Changed = true;
+    }
+    if (Res.BudgetExhausted)
+      break;
+
+    std::vector<std::string> Units = splitUnits(Res.Reduced);
+    if (Units.size() > 1 &&
+        ddminPass(Units, joinUnits, StillFails, MaxCalls, Res.PredicateCalls,
+                  Res.BudgetExhausted)) {
+      Res.Reduced = joinUnits(Units);
+      Changed = true;
+    }
+  }
+  return Res;
+}

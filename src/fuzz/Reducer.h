@@ -1,0 +1,48 @@
+//===- fuzz/Reducer.h - Delta-debugging repro reduction ---------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shrinks a failing input to a minimal repro while preserving its failure
+/// signature. Two delta-debugging passes: chunked line removal (fast, drops
+/// whole statements and functions) followed by chunked lexical-unit removal
+/// (tokens and operators within the surviving lines), iterated to a fixed
+/// point under a bounded predicate-call budget.
+///
+/// The predicate is supplied by the caller — typically "runContract(x)
+/// yields the same Signature" — so reduction can never wander onto a
+/// *different* bug and call it the same repro.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_FUZZ_REDUCER_H
+#define RAP_FUZZ_REDUCER_H
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace rap::fuzz {
+
+/// Returns true when the candidate still exhibits the original failure.
+using ReducePredicate = std::function<bool(const std::string &)>;
+
+struct ReduceResult {
+  std::string Reduced;     ///< smallest variant found that still fails
+  size_t PredicateCalls = 0;
+  bool BudgetExhausted = false; ///< stopped on MaxCalls, not a fixed point
+};
+
+/// Reduces \p Source under \p StillFails. \p Source itself must satisfy the
+/// predicate (callers check before reducing); the result always does.
+/// \p MaxCalls bounds total predicate evaluations — each one replays the
+/// whole compile pipeline, so this is the reducer's wall-clock budget.
+ReduceResult reduceSource(const std::string &Source,
+                          const ReducePredicate &StillFails,
+                          size_t MaxCalls = 1500);
+
+} // namespace rap::fuzz
+
+#endif // RAP_FUZZ_REDUCER_H

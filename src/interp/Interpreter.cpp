@@ -45,6 +45,35 @@ int64_t wrapMod(int64_t A, int64_t B) {
 
 } // namespace
 
+const char *rap::trapKindName(TrapKind Kind) {
+  switch (Kind) {
+  case TrapKind::None:
+    return "none";
+  case TrapKind::DivideByZero:
+    return "div-by-zero";
+  case TrapKind::OutOfBounds:
+    return "out-of-bounds";
+  case TrapKind::FuelExhausted:
+    return "fuel-exhausted";
+  case TrapKind::StackOverflow:
+    return "stack-overflow";
+  case TrapKind::NoEntry:
+    return "no-entry";
+  case TrapKind::BadCall:
+    return "bad-call";
+  }
+  return "unknown";
+}
+
+std::string Trap::str() const {
+  std::string Out = trapKindName(Kind);
+  if (!Function.empty())
+    Out += " @" + Function + "+" + std::to_string(PC);
+  if (!Detail.empty())
+    Out += ": " + Detail;
+  return Out;
+}
+
 Interpreter::Interpreter(const IlocProgram &Prog) : Prog(Prog) {
   Funcs.reserve(Prog.functions().size());
   for (const auto &F : Prog.functions()) {
@@ -64,22 +93,31 @@ RunResult Interpreter::run(const std::string &Entry, uint64_t Fuel,
   const IlocFunction *EntryF = Prog.findFunction(Entry);
   if (!EntryF) {
     Res.Error = "entry function '" + Entry + "' not found";
+    Res.TrapInfo = {TrapKind::NoEntry, 0, Entry, Res.Error};
     return Res;
   }
   int EntryId = Prog.functionId(EntryF);
   if (EntryF->numParams() != 0) {
     Res.Error = "entry function '" + Entry + "' must take no parameters";
+    Res.TrapInfo = {TrapKind::NoEntry, 0, Entry, Res.Error};
     return Res;
   }
 
   Glob.assign(static_cast<size_t>(Prog.globalMemorySize()),
               RtValue::makeInt(0));
 
-  auto Fail = [&](const Instr *I, const std::string &Msg) {
+  std::vector<Frame> Stack;
+  auto Fail = [&](TrapKind Kind, const Instr *I, const std::string &Msg) {
     std::ostringstream OS;
     OS << Msg << " (at '" << I->str() << "')";
     Res.Ok = false;
     Res.Error = OS.str();
+    Res.TrapInfo.Kind = Kind;
+    Res.TrapInfo.Detail = Msg;
+    if (!Stack.empty()) {
+      Res.TrapInfo.PC = Stack.back().PC;
+      Res.TrapInfo.Function = Funcs[Stack.back().FuncId].F->name();
+    }
     return Res;
   };
 
@@ -96,7 +134,6 @@ RunResult Interpreter::run(const std::string &Entry, uint64_t Fuel,
     return Fr;
   };
 
-  std::vector<Frame> Stack;
   Stack.push_back(MakeFrame(EntryId));
   ExecStats &S = Res.Stats;
   S.MaxCallDepth = 1;
@@ -128,6 +165,9 @@ RunResult Interpreter::run(const std::string &Entry, uint64_t Fuel,
     }
     if (S.Cycles >= Fuel) {
       Res.Error = "fuel exhausted: possible infinite loop";
+      Res.TrapInfo = {TrapKind::FuelExhausted, Fr.PC, C.F->name(),
+                      "executed " + std::to_string(S.Cycles) +
+                          " instructions without halting"};
       return Res;
     }
 
@@ -180,12 +220,12 @@ RunResult Interpreter::run(const std::string &Entry, uint64_t Fuel,
       break;
     case Opcode::Div:
       if (R(1).asInt() == 0)
-        return Fail(I, "integer division by zero");
+        return Fail(TrapKind::DivideByZero, I, "integer division by zero");
       Fr.Regs[I->Dst] = RtValue::makeInt(wrapDiv(R(0).asInt(), R(1).asInt()));
       break;
     case Opcode::Mod:
       if (R(1).asInt() == 0)
-        return Fail(I, "integer modulo by zero");
+        return Fail(TrapKind::DivideByZero, I, "integer modulo by zero");
       Fr.Regs[I->Dst] = RtValue::makeInt(wrapMod(R(0).asInt(), R(1).asInt()));
       break;
     case Opcode::Neg:
@@ -213,7 +253,7 @@ RunResult Interpreter::run(const std::string &Entry, uint64_t Fuel,
       break;
     case Opcode::FDiv:
       if (R(1).asFloat() == 0.0)
-        return Fail(I, "floating-point division by zero");
+        return Fail(TrapKind::DivideByZero, I, "floating-point division by zero");
       Fr.Regs[I->Dst] = RtValue::makeFloat(R(0).asFloat() / R(1).asFloat());
       break;
     case Opcode::FNeg:
@@ -265,8 +305,9 @@ RunResult Interpreter::run(const std::string &Entry, uint64_t Fuel,
       int64_t Off = R(0).asInt();
       int End = GlobalEnd[I->Addr];
       if (Off < 0 || End < 0 || I->Addr + Off >= End)
-        return Fail(I, "array load out of bounds (index " +
-                           std::to_string(Off) + ")");
+        return Fail(TrapKind::OutOfBounds, I,
+                    "array load out of bounds (index " + std::to_string(Off) +
+                        ")");
       Fr.Regs[I->Dst] = Glob[I->Addr + Off];
       break;
     }
@@ -274,8 +315,9 @@ RunResult Interpreter::run(const std::string &Entry, uint64_t Fuel,
       int64_t Off = R(0).asInt();
       int End = GlobalEnd[I->Addr];
       if (Off < 0 || End < 0 || I->Addr + Off >= End)
-        return Fail(I, "array store out of bounds (index " +
-                           std::to_string(Off) + ")");
+        return Fail(TrapKind::OutOfBounds, I,
+                    "array store out of bounds (index " + std::to_string(Off) +
+                        ")");
       Glob[I->Addr + Off] = R(1);
       break;
     }
@@ -289,14 +331,22 @@ RunResult Interpreter::run(const std::string &Entry, uint64_t Fuel,
     case Opcode::Call: {
       ++S.Calls;
       if (Stack.size() >= 100000)
-        return Fail(I, "call stack overflow");
+        return Fail(TrapKind::StackOverflow, I, "call stack overflow");
       const IlocFunction *Callee = Funcs[I->Callee].F;
       Frame NewFr = MakeFrame(I->Callee);
       NewFr.ReturnDst = I->Dst;
-      assert(I->Src.size() == Callee->numParams() &&
-             "call arity mismatch");
-      for (unsigned A = 0; A != I->Src.size(); ++A)
-        NewFr.Regs[Callee->paramReg(A)] = Fr.Regs[I->Src[A]];
+      if (I->Src.size() != Callee->numParams())
+        return Fail(TrapKind::BadCall, I,
+                    "call passes " + std::to_string(I->Src.size()) +
+                        " arguments to '" + Callee->name() + "' expecting " +
+                        std::to_string(Callee->numParams()));
+      for (unsigned A = 0; A != I->Src.size(); ++A) {
+        // NoReg marks a parameter the callee never reads; writing it anyway
+        // would clobber whichever live register the allocator reused.
+        Reg PR = Callee->paramReg(A);
+        if (PR != NoReg)
+          NewFr.Regs[PR] = Fr.Regs[I->Src[A]];
+      }
       Fr.PC = NextPC; // resume point after return
       Stack.push_back(std::move(NewFr));
       S.MaxCallDepth = std::max<uint64_t>(S.MaxCallDepth, Stack.size());

@@ -42,9 +42,43 @@ struct ExecStats {
   uint64_t MaxCallDepth = 0;
 };
 
+/// Structured classification of interpreter failures. Every abnormal stop
+/// is one of these kinds; the names are stable strings that tests, the
+/// fuzzer's differential oracle, and repro artifacts key on (a renamed kind
+/// is a silent signature change — treat the list as an ABI).
+enum class TrapKind {
+  None,          ///< run completed (or has not failed yet)
+  DivideByZero,  ///< integer or float division/modulo by zero
+  OutOfBounds,   ///< array load/store outside its global's extent
+  FuelExhausted, ///< instruction budget hit: non-terminating program
+  StackOverflow, ///< call depth exceeded the frame cap
+  NoEntry,       ///< entry function missing or taking parameters
+  BadCall,       ///< call arity does not match the callee (malformed IR)
+};
+
+/// Stable machine-readable name ("div-by-zero", "fuel-exhausted", ...).
+const char *trapKindName(TrapKind Kind);
+
+/// One structured trap: what happened, where (pc within the function's
+/// linearized code, plus the function), and a human-readable detail.
+struct Trap {
+  TrapKind Kind = TrapKind::None;
+  uint64_t PC = 0;          ///< index into the linearized code
+  std::string Function;     ///< function executing at the trap
+  std::string Detail;       ///< e.g. "integer division by zero"
+
+  /// "kind @function+pc: detail" — the rendering used in errors and repro
+  /// artifacts.
+  std::string str() const;
+};
+
 struct RunResult {
   bool Ok = false;
   std::string Error; ///< set when !Ok (e.g. "division by zero at ...")
+  /// Structured counterpart of Error: Kind != None exactly when !Ok after a
+  /// run (compile-level failures reported through compileAndRun leave it
+  /// None and use Error alone).
+  Trap TrapInfo;
   RtValue ReturnValue;
   ExecStats Stats;
   /// Per-function breakdown of Stats, in program order, one entry per

@@ -45,7 +45,9 @@ public:
 
   /// The register that receives parameter \p I on entry: virtual register I
   /// before allocation, the physical register its live range was colored
-  /// with afterwards (set by PhysicalRewrite).
+  /// with afterwards (set by PhysicalRewrite). NoReg after allocation means
+  /// the callee never reads the parameter; callers must not write the
+  /// argument anywhere (the register would belong to someone else).
   Reg paramReg(unsigned I) const {
     return ParamRegs.empty() ? I : ParamRegs[I];
   }

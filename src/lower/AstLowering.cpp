@@ -6,13 +6,27 @@
 
 #include "lower/AstLowering.h"
 
-#include <cassert>
 #include <map>
+#include <stdexcept>
 #include <vector>
 
 using namespace rap;
 
 namespace {
+
+/// Internal-invariant failure during lowering. Lowering only runs on trees
+/// Sema accepted, so these conditions are bugs — but on hostile input a bug
+/// must surface as a contained error, not an abort. Thrown locally, caught
+/// in lowerToIloc.
+struct LoweringBug : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Replaces `assert` in the lowering path: active in every build type.
+void lowerCheck(bool Cond, const char *Message) {
+  if (!Cond)
+    throw LoweringBug(Message);
+}
 
 struct LocalVar {
   Reg VReg = NoReg;
@@ -91,7 +105,7 @@ private:
 
   Instr *emit(Opcode Op) {
     Instr *I = F.createInstr(Op);
-    assert(CurCode && "no active code sink");
+    lowerCheck(CurCode != nullptr, "no active code sink");
     CurCode->push_back(I);
     return I;
   }
@@ -124,9 +138,20 @@ private:
       return;
     case StmtKind::VarDecl: {
       Reg R = F.newVReg();
+      beginStatement();
       if (S.Value) {
-        beginStatement();
         lowerAssignInto(*S.Value, R);
+      } else {
+        // MiniC defines declaration without an initializer as
+        // zero-initialization. Leaving the register undefined would make
+        // the program's result depend on whatever the allocator previously
+        // kept there — found by rapfuzz as a reference-vs-allocated
+        // mismatch.
+        Instr *I = emit(S.DeclType == TypeKind::Float ? Opcode::LoadF
+                                                      : Opcode::LoadI);
+        I->Dst = R;
+        I->Imm = S.DeclType == TypeKind::Float ? RtValue::makeFloat(0.0)
+                                               : RtValue::makeInt(0);
       }
       declare(S.Name, R, S.DeclType);
       return;
@@ -167,7 +192,7 @@ private:
     if (S.Index) {
       // Array element store.
       const GlobalVar *G = Prog.findGlobal(S.Name);
-      assert(G && G->IsArray && "sema guarantees a global array target");
+      lowerCheck(G && G->IsArray, "sema guarantees a global array target");
       Reg Idx = lowerExpr(*S.Index);
       Reg Val = lowerExpr(*S.Value);
       Instr *I = emit(Opcode::StIdx);
@@ -177,7 +202,8 @@ private:
     }
     if (S.TargetIsGlobal) {
       const GlobalVar *G = Prog.findGlobal(S.Name);
-      assert(G && !G->IsArray && "sema guarantees a global scalar target");
+      lowerCheck(G && !G->IsArray,
+                 "sema guarantees a global scalar target");
       Reg Val = lowerExpr(*S.Value);
       Instr *I = emit(Opcode::StGlob);
       I->Addr = G->Addr;
@@ -185,7 +211,7 @@ private:
       return;
     }
     const LocalVar *V = lookup(S.Name);
-    assert(V && "sema guarantees a declared local");
+    lowerCheck(V != nullptr, "sema guarantees a declared local");
     lowerAssignInto(*S.Value, V->VReg);
   }
 
@@ -266,7 +292,7 @@ private:
     pushScope();
     if (S.ForInit)
       lowerStmt(*S.ForInit);
-    assert(S.Cond && "for loop requires a condition");
+    lowerCheck(S.Cond != nullptr, "for loop requires a condition");
     lowerLoop(*S.Cond, *S.Then, S.ForStep.get());
     popScope();
   }
@@ -310,21 +336,21 @@ private:
     case ExprKind::VarRef: {
       if (E.ResolvedGlobal) {
         const GlobalVar *G = Prog.findGlobal(E.Name);
-        assert(G && "sema guarantees the global exists");
+        lowerCheck(G != nullptr, "sema guarantees the global exists");
         Instr *I = emit(Opcode::LdGlob);
         I->Dst = Target == NoReg ? F.newVReg() : Target;
         I->Addr = G->Addr;
         return I->Dst;
       }
       const LocalVar *V = lookup(E.Name);
-      assert(V && "sema guarantees a declared local");
+      lowerCheck(V != nullptr, "sema guarantees a declared local");
       if (Target == NoReg || Target == V->VReg)
         return V->VReg;
       return emitUnary(Opcode::Mv, V->VReg, Target);
     }
     case ExprKind::ArrayRef: {
       const GlobalVar *G = Prog.findGlobal(E.Name);
-      assert(G && G->IsArray && "sema guarantees a global array");
+      lowerCheck(G && G->IsArray, "sema guarantees a global array");
       Reg Idx = lowerExpr(*E.Sub);
       Instr *I = emit(Opcode::LdIdx);
       I->Dst = Target == NoReg ? F.newVReg() : Target;
@@ -353,7 +379,7 @@ private:
     }
     case ExprKind::Call: {
       const IlocFunction *Callee = Prog.findFunction(E.Name);
-      assert(Callee && "sema guarantees the callee exists");
+      lowerCheck(Callee != nullptr, "sema guarantees the callee exists");
       std::vector<Reg> Args;
       Args.reserve(E.Args.size());
       for (const auto &A : E.Args)
@@ -366,8 +392,7 @@ private:
       return I->Dst;
     }
     }
-    assert(false && "unhandled expression kind");
-    return NoReg;
+    throw LoweringBug("unhandled expression kind");
   }
 
   static Opcode binaryOpcode(const Expr &E) {
@@ -402,8 +427,7 @@ private:
     case BinaryOp::LogicalOr:
       return Opcode::Or;
     }
-    assert(false && "unhandled binary operator");
-    return Opcode::Add;
+    throw LoweringBug("unhandled binary operator");
   }
 
   const TranslationUnit &TU;
@@ -422,17 +446,25 @@ private:
 
 std::unique_ptr<IlocProgram>
 rap::lowerToIloc(const TranslationUnit &TU, RegionGranularity Granularity,
-                 CopyStyle Copies) {
+                 CopyStyle Copies, DiagnosticEngine *Diags) {
   auto Prog = std::make_unique<IlocProgram>();
-  for (const GlobalDecl &G : TU.Globals)
-    Prog->addGlobal(G.Name, G.ArraySize < 0 ? 1 : G.ArraySize, G.Type,
-                    G.ArraySize >= 0);
-  // Create all functions first so calls can refer to them by id.
-  for (const auto &FD : TU.Functions)
-    Prog->createFunction(FD->Name);
-  for (size_t I = 0, E = TU.Functions.size(); I != E; ++I)
-    FunctionLowering(TU, *Prog, *TU.Functions[I], *Prog->function(int(I)),
-                     Granularity, Copies)
-        .run();
+  try {
+    for (const GlobalDecl &G : TU.Globals)
+      Prog->addGlobal(G.Name, G.ArraySize < 0 ? 1 : G.ArraySize, G.Type,
+                      G.ArraySize >= 0);
+    // Create all functions first so calls can refer to them by id.
+    for (const auto &FD : TU.Functions)
+      Prog->createFunction(FD->Name);
+    for (size_t I = 0, E = TU.Functions.size(); I != E; ++I)
+      FunctionLowering(TU, *Prog, *TU.Functions[I], *Prog->function(int(I)),
+                       Granularity, Copies)
+          .run();
+  } catch (const LoweringBug &B) {
+    // A malformed tree slipped past Sema. Contain it: this is a diagnosed
+    // failure of this compilation, not a process abort.
+    if (Diags)
+      Diags->error({}, std::string("internal lowering error: ") + B.what());
+    return nullptr;
+  }
   return Prog;
 }

@@ -45,11 +45,15 @@ enum class CopyStyle {
 };
 
 /// Lowers \p TU (which must have passed Sema) to ILOC. Never fails on a
-/// type-checked tree.
+/// type-checked tree. If an internal invariant does not hold anyway (a
+/// malformed AST slipping past Sema), the failure is contained: with
+/// \p Diags the problem is reported there and nullptr is returned; without,
+/// nullptr is returned silently. It never aborts the process.
 std::unique_ptr<IlocProgram>
 lowerToIloc(const TranslationUnit &TU,
             RegionGranularity Granularity = RegionGranularity::PerStatement,
-            CopyStyle Copies = CopyStyle::Naive);
+            CopyStyle Copies = CopyStyle::Naive,
+            DiagnosticEngine *Diags = nullptr);
 
 } // namespace rap
 

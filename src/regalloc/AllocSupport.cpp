@@ -146,7 +146,8 @@ void CodeEditor::insertAfter(Instr *Anchor, Instr *NewI) {
 }
 
 void CodeEditor::insertAtRegionEntry(PdgNode *V, Instr *NewI) {
-  assert(V->isRegion() && "spill node insertion needs a region");
+  allocCheck(V->isRegion(), AllocErrorKind::InvariantViolation,
+             "spill node insertion needs a region");
   PdgNode *S = F.createNode(PdgNodeKind::Statement);
   S->Parent = V;
   S->Code.push_back(NewI);
@@ -155,7 +156,8 @@ void CodeEditor::insertAtRegionEntry(PdgNode *V, Instr *NewI) {
 }
 
 void CodeEditor::insertAtRegionExit(PdgNode *V, Instr *NewI) {
-  assert(V->isRegion() && "spill node insertion needs a region");
+  allocCheck(V->isRegion(), AllocErrorKind::InvariantViolation,
+             "spill node insertion needs a region");
   PdgNode *S = F.createNode(PdgNodeKind::Statement);
   S->Parent = V;
   S->Code.push_back(NewI);

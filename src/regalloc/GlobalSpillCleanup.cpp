@@ -6,6 +6,8 @@
 
 #include "regalloc/GlobalSpillCleanup.h"
 
+#include "regalloc/AllocError.h"
+
 #include "cfg/Cfg.h"
 #include "ir/Linearize.h"
 #include "support/BitVector.h"
@@ -258,7 +260,8 @@ unsigned deadStorePass(IlocFunction &F) {
 GlobalCleanupResult rap::globalSpillCleanup(IlocFunction &F,
                                             telemetry::FunctionScope *Scope) {
   telemetry::ScopedPhase Phase(Scope, "cleanup");
-  assert(F.isAllocated() && "cleanup runs on physical code");
+  allocCheck(F.isAllocated(), AllocErrorKind::InvariantViolation,
+             "cleanup runs on physical code");
   GlobalCleanupResult Total;
   // Each pass can expose work for the other (a deleted dead store frees a
   // reload; a deleted reload kills a store's last reader). Iterate to a

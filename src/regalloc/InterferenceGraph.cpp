@@ -6,6 +6,8 @@
 
 #include "regalloc/InterferenceGraph.h"
 
+#include "regalloc/AllocError.h"
+
 #include <algorithm>
 #include <cassert>
 #include <map>
@@ -39,12 +41,14 @@ unsigned InterferenceGraph::getOrCreateNode(Reg R) {
 void InterferenceGraph::addEdge(Reg A, Reg B) {
   int N1 = nodeOf(A);
   int N2 = nodeOf(B);
-  assert(N1 >= 0 && N2 >= 0 && "addEdge on unknown registers");
+  allocCheck(N1 >= 0 && N2 >= 0, AllocErrorKind::InvariantViolation,
+             "addEdge on unknown registers");
   addEdgeNodes(static_cast<unsigned>(N1), static_cast<unsigned>(N2));
 }
 
 void InterferenceGraph::addEdgeNodes(unsigned N1, unsigned N2) {
-  assert(Nodes[N1].Alive && Nodes[N2].Alive && "edge on dead node");
+  allocCheck(Nodes[N1].Alive && Nodes[N2].Alive,
+             AllocErrorKind::InvariantViolation, "edge on dead node");
   if (N1 == N2 || testBit(N1, N2))
     return;
   setBit(N1, N2);
@@ -53,11 +57,13 @@ void InterferenceGraph::addEdgeNodes(unsigned N1, unsigned N2) {
 }
 
 unsigned InterferenceGraph::mergeNodes(unsigned N1, unsigned N2) {
-  assert(N1 != N2 && "merging a node with itself");
-  assert(Nodes[N1].Alive && Nodes[N2].Alive && "merging dead nodes");
-  assert(!interfere(N1, N2) &&
-         "merging interfering nodes would be uncolorable; the global-global "
-         "rule should have prevented this");
+  allocCheck(N1 != N2, AllocErrorKind::InvariantViolation,
+             "merging a node with itself");
+  allocCheck(Nodes[N1].Alive && Nodes[N2].Alive,
+             AllocErrorKind::InvariantViolation, "merging dead nodes");
+  allocCheck(!interfere(N1, N2), AllocErrorKind::InvariantViolation,
+             "merging interfering nodes would be uncolorable; the "
+             "global-global rule should have prevented this");
   Node &A = Nodes[N1];
   Node &B = Nodes[N2];
   for (Reg R : B.VRegs) {
@@ -89,7 +95,8 @@ void InterferenceGraph::renameReg(Reg OldReg, Reg NewReg) {
     return;
   unsigned Id = static_cast<unsigned>(IdS);
   NodeOfReg[OldReg] = -1;
-  assert(nodeOf(NewReg) < 0 && "rename target already present");
+  allocCheck(nodeOf(NewReg) < 0, AllocErrorKind::InvariantViolation,
+             "rename target already present");
   mapReg(NewReg, Id);
   auto &VR = Nodes[Id].VRegs;
   *std::find(VR.begin(), VR.end(), OldReg) = NewReg;
@@ -97,8 +104,10 @@ void InterferenceGraph::renameReg(Reg OldReg, Reg NewReg) {
 }
 
 void InterferenceGraph::addRegToNode(unsigned Id, Reg R) {
-  assert(Nodes[Id].Alive && "adding register to a dead node");
-  assert(nodeOf(R) < 0 && "register already present in the graph");
+  allocCheck(Nodes[Id].Alive, AllocErrorKind::InvariantViolation,
+             "adding register to a dead node");
+  allocCheck(nodeOf(R) < 0, AllocErrorKind::InvariantViolation,
+             "register already present in the graph");
   Nodes[Id].VRegs.push_back(R);
   std::sort(Nodes[Id].VRegs.begin(), Nodes[Id].VRegs.end());
   mapReg(R, Id);
@@ -114,7 +123,8 @@ std::vector<unsigned> InterferenceGraph::aliveNodes() const {
 }
 
 unsigned InterferenceGraph::effectiveDegree(unsigned Id) const {
-  assert(Nodes[Id].Alive && "degree of a dead node");
+  allocCheck(Nodes[Id].Alive, AllocErrorKind::InvariantViolation,
+             "degree of a dead node");
   // Adjacency lists only ever name alive nodes (see class comment).
   unsigned Deg = static_cast<unsigned>(Adj[Id].size());
   if (Nodes[Id].Global) {
@@ -140,7 +150,8 @@ InterferenceGraph InterferenceGraph::combinedByColor() const {
     const Node &N = Nodes[I];
     if (!N.Alive)
       continue;
-    assert(N.Color >= 0 && "combining an uncolored graph");
+    allocCheck(N.Color >= 0, AllocErrorKind::InvariantViolation,
+               "combining an uncolored graph");
     auto It = NodeOfColor.find(N.Color);
     if (It == NodeOfColor.end()) {
       unsigned NewId = Out.getOrCreateNode(N.VRegs.front());
@@ -171,7 +182,8 @@ InterferenceGraph InterferenceGraph::combinedByColor() const {
         continue;
       unsigned A = NodeOfColor.at(Nodes[I].Color);
       unsigned B = NodeOfColor.at(Nodes[J].Color);
-      assert(A != B && "properly colored graphs cannot merge adjacent nodes");
+      allocCheck(A != B, AllocErrorKind::InvariantViolation,
+                 "properly colored graphs cannot merge adjacent nodes");
       Out.addEdgeNodes(A, B);
     }
   }

@@ -6,6 +6,8 @@
 
 #include "regalloc/Peephole.h"
 
+#include "regalloc/AllocError.h"
+
 #include "cfg/Cfg.h"
 #include "ir/Linearize.h"
 #include "support/Stats.h"
@@ -86,7 +88,8 @@ private:
 PeepholeResult rap::peepholeSpillCleanup(IlocFunction &F,
                                          telemetry::FunctionScope *Scope) {
   telemetry::ScopedPhase Phase(Scope, "peephole");
-  assert(F.isAllocated() && "peephole runs on physical code");
+  allocCheck(F.isAllocated(), AllocErrorKind::InvariantViolation,
+             "peephole runs on physical code");
   PeepholeResult Res;
 
   LinearCode Code = linearize(F);

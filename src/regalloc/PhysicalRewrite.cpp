@@ -24,14 +24,21 @@ unsigned rap::rewriteToPhysical(IlocFunction &F,
     int C = Final.colorOf(R);
     allocCheck(C < static_cast<int>(K), AllocErrorKind::InvariantViolation,
                "color out of range");
-    // Registers that are never referenced (e.g. unused parameters) have no
-    // node; any register is fine since the value is never read.
+    // Registers that are never referenced have no node; any register is
+    // fine since the value is never read (and never written: the one writer
+    // of unreferenced registers, call marshalling, skips NoReg params).
     return C < 0 ? 0 : static_cast<Reg>(C);
   };
 
+  // An unreferenced parameter must NOT borrow a colored register: the value
+  // is never read, but call marshalling would still write the argument into
+  // whatever register we name here, clobbering a live sibling parameter
+  // that legitimately owns it. NoReg tells the interpreter to drop that
+  // argument instead. (Found by rapfuzz: a dead parameter aliased a live
+  // one and the write reordered the live value away.)
   std::vector<Reg> ParamRegs;
   for (unsigned P = 0; P != F.numParams(); ++P)
-    ParamRegs.push_back(MapReg(P));
+    ParamRegs.push_back(Final.colorOf(P) < 0 ? NoReg : MapReg(P));
 
   unsigned CopiesDeleted = 0;
   F.root()->forEachNode([&](const PdgNode *CN) {

@@ -32,13 +32,24 @@ struct Diagnostic {
 };
 
 /// Accumulates diagnostics for one compilation.
+///
+/// Recording is capped (default 256): adversarial inputs can provoke one
+/// error per byte, and an unbounded vector would turn a gigabyte of garbage
+/// into a gigabyte of diagnostics. Past the cap, errors still *count*
+/// (hasErrors stays true, the total keeps incrementing) but are no longer
+/// stored; str() appends a summary line naming how many were suppressed.
 class DiagnosticEngine {
 public:
+  explicit DiagnosticEngine(size_t MaxStored = 256) : MaxStored(MaxStored) {}
+
   void error(SourceLoc Loc, std::string Message) {
-    Diags.push_back({Loc, std::move(Message)});
+    ++Total;
+    if (Diags.size() < MaxStored)
+      Diags.push_back({Loc, std::move(Message)});
   }
 
-  bool hasErrors() const { return !Diags.empty(); }
+  bool hasErrors() const { return Total != 0; }
+  size_t errorCount() const { return Total; }
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
 
   /// Renders all diagnostics as "line:col: message" lines, for tool output
@@ -49,11 +60,16 @@ public:
       Out += std::to_string(D.Loc.Line) + ":" + std::to_string(D.Loc.Col) +
              ": error: " + D.Message + "\n";
     }
+    if (Total > Diags.size())
+      Out += "... and " + std::to_string(Total - Diags.size()) +
+             " more errors (suppressed)\n";
     return Out;
   }
 
 private:
   std::vector<Diagnostic> Diags;
+  size_t MaxStored;
+  size_t Total = 0;
 };
 
 } // namespace rap

@@ -13,7 +13,9 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "RandomProgram.h"
+#include "fuzz/RandomProgram.h"
+#include "fuzz/Reducer.h"
+#include "fuzz/Runner.h"
 
 #include "driver/Pipeline.h"
 #include "regalloc/AssignmentVerifier.h"
@@ -29,7 +31,7 @@ class FuzzDifferential : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(FuzzDifferential, AllConfigsMatchReference) {
   unsigned Seed = GetParam();
-  std::string Source = test::RandomProgramBuilder(Seed).build();
+  std::string Source = fuzz::RandomProgramBuilder(Seed).build();
 
   CompileOptions RefOpts;
   RunResult Ref = compileAndRun(Source, RefOpts);
@@ -57,7 +59,7 @@ TEST_P(FuzzDifferential, AllConfigsMatchReference) {
 
 TEST_P(FuzzDifferential, RapColoringVerifies) {
   unsigned Seed = GetParam();
-  std::string Source = test::RandomProgramBuilder(Seed).build();
+  std::string Source = fuzz::RandomProgramBuilder(Seed).build();
 
   CompileOptions Opts; // unallocated
   CompileResult CR = compileMiniC(Source, Opts);
@@ -79,7 +81,7 @@ TEST_P(FuzzDifferential, RapColoringVerifies) {
 
 TEST_P(FuzzDifferential, VariantConfigsMatchReference) {
   unsigned Seed = GetParam();
-  std::string Source = test::RandomProgramBuilder(Seed).build();
+  std::string Source = fuzz::RandomProgramBuilder(Seed).build();
 
   // Front-end options change the reference too; compare like with like.
   RegionGranularity G = Seed % 2 ? RegionGranularity::Merged
@@ -124,7 +126,7 @@ TEST_P(FuzzDifferential, FaultInjectionDegradesCorrectly) {
   unsigned Seed = GetParam();
   if (Seed % 4 != 1)
     GTEST_SKIP() << "sweep runs on a quarter of the seeds to bound runtime";
-  std::string Source = test::RandomProgramBuilder(Seed).build();
+  std::string Source = fuzz::RandomProgramBuilder(Seed).build();
 
   CompileOptions RefOpts;
   RunResult Ref = compileAndRun(Source, RefOpts);
@@ -166,5 +168,36 @@ TEST_P(FuzzDifferential, FaultInjectionDegradesCorrectly) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferential, ::testing::Range(0u, 60u));
+
+/// The failure-to-repro path end to end, on the differential oracle itself:
+/// arm a coloring fault with fallback off, confirm the contract runner
+/// reports a reducible failure, and require delta debugging to shrink the
+/// generator program to a minimal repro with the identical signature
+/// (acceptance bound: <= 25% of the original).
+TEST(FuzzReduction, InjectedFailureShrinksToMinimalRepro) {
+  for (unsigned Seed : {0u, 17u}) {
+    std::string Source = fuzz::RandomProgramBuilder(Seed).build();
+
+    fuzz::FuzzLimits Limits;
+    Limits.Faults = FaultPlan::fromString("color:1");
+    fuzz::FuzzReport Original = fuzz::runContract(Source, Limits);
+    ASSERT_EQ(Original.Outcome, fuzz::FuzzOutcome::AllocFailure)
+        << "seed " << Seed << ": " << Original.Detail;
+
+    auto StillFails = [&](const std::string &Candidate) {
+      fuzz::FuzzReport R = fuzz::runContract(Candidate, Limits);
+      return R.failing() && R.Signature == Original.Signature;
+    };
+    fuzz::ReduceResult Red = fuzz::reduceSource(Source, StillFails);
+
+    ASSERT_TRUE(StillFails(Red.Reduced))
+        << "seed " << Seed << ": reduction lost the failure:\n"
+        << Red.Reduced;
+    EXPECT_LE(Red.Reduced.size() * 4, Source.size())
+        << "seed " << Seed << ": reduced " << Source.size() << " -> "
+        << Red.Reduced.size() << " bytes (bound is 25%):\n"
+        << Red.Reduced;
+  }
+}
 
 } // namespace

@@ -21,7 +21,7 @@
 #include "driver/Pipeline.h"
 #include "ir/Linearize.h"
 
-#include "RandomProgram.h"
+#include "fuzz/RandomProgram.h"
 
 #include "gtest/gtest.h"
 
@@ -260,7 +260,7 @@ TEST(InterferenceDense, RandomOpSequences) {
 /// random edges.
 TEST(InterferenceDense, LivenessDerivedGraphs) {
   for (unsigned Seed = 100; Seed != 108; ++Seed) {
-    std::string Source = rap::test::RandomProgramBuilder(Seed).build();
+    std::string Source = rap::fuzz::RandomProgramBuilder(Seed).build();
     CompileOptions Options; // Allocator = None
     CompileResult CR = compileMiniC(Source, Options);
     ASSERT_TRUE(CR.ok()) << CR.Errors;

@@ -203,6 +203,83 @@ TEST(Interp, MissingEntryReported) {
   EXPECT_NE(R.Error.find("not found"), std::string::npos);
 }
 
+//===----------------------------------------------------------------------===//
+// Trap taxonomy: every runtime failure carries a structured Trap whose kind
+// names are a stable interface (the fuzzer keys failure signatures on them,
+// and repro artifacts embed them).
+//===----------------------------------------------------------------------===//
+
+TEST(Interp, DivideByZeroTrapIsStructured) {
+  RunResult R = run("int main() { int z = 0; return 1 / z; }");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.TrapInfo.Kind, TrapKind::DivideByZero);
+  EXPECT_EQ(R.TrapInfo.Function, "main");
+  // The legacy Error string must keep carrying the trap's detail so older
+  // callers (and tests) that grep Error still work.
+  EXPECT_NE(R.Error.find(R.TrapInfo.Detail), std::string::npos)
+      << R.Error << " vs " << R.TrapInfo.Detail;
+  // str() renders "kind @function+pc: detail".
+  EXPECT_NE(R.TrapInfo.str().find("div-by-zero @main+"), std::string::npos)
+      << R.TrapInfo.str();
+}
+
+TEST(Interp, OutOfBoundsTrapIsStructured) {
+  RunResult R = run(R"(
+    int a[4];
+    int main() { int i = 9; return a[i]; }
+  )");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.TrapInfo.Kind, TrapKind::OutOfBounds);
+  EXPECT_NE(R.TrapInfo.Detail.find("9"), std::string::npos)
+      << "detail should name the offending index: " << R.TrapInfo.Detail;
+}
+
+TEST(Interp, FuelExhaustionTrapIsStructured) {
+  auto Prog = compile("int main() { while (1 == 1) { } return 0; }");
+  ASSERT_NE(Prog, nullptr);
+  Interpreter I(*Prog);
+  RunResult R = I.run("main", /*Fuel=*/10000);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.TrapInfo.Kind, TrapKind::FuelExhausted);
+  EXPECT_EQ(R.TrapInfo.Function, "main");
+}
+
+TEST(Interp, MissingEntryTrapIsStructured) {
+  auto Prog = compile("int notmain() { return 1; }");
+  ASSERT_NE(Prog, nullptr);
+  Interpreter I(*Prog);
+  RunResult R = I.run();
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.TrapInfo.Kind, TrapKind::NoEntry);
+}
+
+TEST(Interp, StackOverflowTrapIsStructured) {
+  RunResult R = run(R"(
+    int down(int n) { return down(n - 1); }
+    int main() { return down(1); }
+  )");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.TrapInfo.Kind, TrapKind::StackOverflow);
+}
+
+TEST(Interp, SuccessfulRunHasNoTrap) {
+  RunResult R = run("int main() { return 7; }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.TrapInfo.Kind, TrapKind::None);
+}
+
+TEST(Interp, TrapKindNamesAreStable) {
+  // These strings appear in fuzz failure signatures and in on-disk repro
+  // artifacts; renaming one invalidates recorded repros.
+  EXPECT_STREQ(trapKindName(TrapKind::None), "none");
+  EXPECT_STREQ(trapKindName(TrapKind::DivideByZero), "div-by-zero");
+  EXPECT_STREQ(trapKindName(TrapKind::OutOfBounds), "out-of-bounds");
+  EXPECT_STREQ(trapKindName(TrapKind::FuelExhausted), "fuel-exhausted");
+  EXPECT_STREQ(trapKindName(TrapKind::StackOverflow), "stack-overflow");
+  EXPECT_STREQ(trapKindName(TrapKind::NoEntry), "no-entry");
+  EXPECT_STREQ(trapKindName(TrapKind::BadCall), "bad-call");
+}
+
 TEST(Interp, UnaryOperators) {
   RunResult R = run(R"(
     int main() {
