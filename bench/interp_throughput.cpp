@@ -1,0 +1,234 @@
+//===- bench/interp_throughput.cpp - Interpreter engine throughput --------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures raw interpreter throughput (executed ILOC instructions per
+// second) of the direct-threaded engine against the reference switch engine
+// over the Table 1 corpus, compiled under RAP. The two engines' repetitions
+// are interleaved (S T S T ...) so frequency scaling and cache warmth bias
+// neither side, and the per-engine median is reported. Every run's cycle
+// count and checksum are cross-checked between engines — a throughput number
+// from a wrong interpreter is worthless.
+//
+// Usage: interp_throughput [--csv|--json] [--k=K] [--reps=N]
+//   --k     allocator register count (default 5; first value of the list)
+//   --reps  timed repetitions per engine per program (default 5)
+//
+// Output rows: one per program plus an ALL aggregate (total instructions
+// over summed median times). JSON mode wraps rows in the shared
+// "rap-bench-v1" envelope with bench = "interp-throughput".
+//
+//===----------------------------------------------------------------------===//
+
+#include "Table1Support.h"
+#include "benchprogs/BenchPrograms.h"
+#include "driver/Pipeline.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace rap;
+using namespace rap::bench;
+
+namespace {
+
+double medianOf(std::vector<double> V) {
+  std::sort(V.begin(), V.end());
+  return V[V.size() / 2];
+}
+
+struct ProgResult {
+  const char *Name = nullptr;
+  const char *Group = nullptr;
+  uint64_t Cycles = 0;
+  double SwitchSec = 0;   ///< median wall time of one run
+  double ThreadedSec = 0; ///< median wall time of one run
+  uint64_t FusedCmpCbr = 0;
+  uint64_t FusedLoadIOp = 0;
+  uint64_t FusedSpillTriple = 0;
+  uint64_t FusedPair = 0;
+
+  double switchMinstr() const { return Cycles / SwitchSec / 1e6; }
+  double threadedMinstr() const { return Cycles / ThreadedSec / 1e6; }
+  double speedup() const { return SwitchSec / ThreadedSec; }
+};
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  // Pre-filter --reps=N; everything else goes through the shared parser.
+  unsigned Reps = 5;
+  std::vector<char *> Rest;
+  Rest.push_back(argv[0]);
+  for (int I = 1; I != argc; ++I) {
+    if (std::strncmp(argv[I], "--reps=", 7) == 0) {
+      char *End = nullptr;
+      long N = std::strtol(argv[I] + 7, &End, 10);
+      if (End == argv[I] + 7 || *End != '\0' || N < 1) {
+        std::fprintf(stderr, "bad --reps value '%s'\n", argv[I] + 7);
+        return 1;
+      }
+      Reps = static_cast<unsigned>(N);
+    } else {
+      Rest.push_back(argv[I]);
+    }
+  }
+  BenchFlags Flags =
+      parseBenchFlags(static_cast<int>(Rest.size()), Rest.data());
+  if (!Flags.Ok) {
+    std::fprintf(stderr, "%s\n", Flags.Error.c_str());
+    return 1;
+  }
+  unsigned K = Flags.Ks.empty() ? 5 : Flags.Ks.front();
+
+  CompileOptions Options;
+  Options.Allocator = AllocatorKind::Rap;
+  Options.Alloc.K = K;
+
+  std::vector<ProgResult> Results;
+  for (const BenchProgram &P : benchPrograms()) {
+    CompileResult CR = compileMiniC(P.Source, Options);
+    if (!CR.ok()) {
+      std::fprintf(stderr, "FATAL: %s failed to compile:\n%s\n", P.Name,
+                   CR.Errors.c_str());
+      return 1;
+    }
+
+    InterpOptions SwitchOpts;
+    SwitchOpts.Dispatch = DispatchKind::Switch;
+    InterpOptions ThreadedOpts;
+    ThreadedOpts.Dispatch = DispatchKind::Threaded;
+    Interpreter SwitchInterp(*CR.Prog, SwitchOpts);
+    Interpreter ThreadedInterp(*CR.Prog, ThreadedOpts);
+
+    ProgResult R;
+    R.Name = P.Name;
+    R.Group = P.Group;
+    R.FusedCmpCbr = ThreadedInterp.fusedCmpCbr();
+    R.FusedLoadIOp = ThreadedInterp.fusedLoadIOp();
+    R.FusedSpillTriple = ThreadedInterp.fusedSpillTriples();
+    R.FusedPair = ThreadedInterp.fusedPairs();
+
+    // Warm-up runs double as the correctness cross-check.
+    RunResult Sw = SwitchInterp.run();
+    RunResult Th = ThreadedInterp.run();
+    if (!Sw.Ok || !Th.Ok) {
+      std::fprintf(stderr, "FATAL: %s failed to run: %s\n", P.Name,
+                   (Sw.Ok ? Th : Sw).Error.c_str());
+      return 1;
+    }
+    if (Sw.Stats.Cycles != Th.Stats.Cycles ||
+        Sw.ReturnValue != Th.ReturnValue) {
+      std::fprintf(stderr,
+                   "FATAL: %s engines disagree (switch %llu cycles, "
+                   "threaded %llu cycles)\n",
+                   P.Name, static_cast<unsigned long long>(Sw.Stats.Cycles),
+                   static_cast<unsigned long long>(Th.Stats.Cycles));
+      return 1;
+    }
+    R.Cycles = Sw.Stats.Cycles;
+
+    // Interleaved timed repetitions: S T S T ... then per-engine medians.
+    std::vector<double> SwitchTimes, ThreadedTimes;
+    for (unsigned Rep = 0; Rep != Reps; ++Rep) {
+      double T0 = now();
+      SwitchInterp.run();
+      double T1 = now();
+      ThreadedInterp.run();
+      double T2 = now();
+      SwitchTimes.push_back(T1 - T0);
+      ThreadedTimes.push_back(T2 - T1);
+    }
+    R.SwitchSec = medianOf(std::move(SwitchTimes));
+    R.ThreadedSec = medianOf(std::move(ThreadedTimes));
+    Results.push_back(R);
+  }
+
+  // Aggregate: total instructions over summed per-program medians.
+  ProgResult All;
+  All.Name = "ALL";
+  All.Group = "aggregate";
+  for (const ProgResult &R : Results) {
+    All.Cycles += R.Cycles;
+    All.SwitchSec += R.SwitchSec;
+    All.ThreadedSec += R.ThreadedSec;
+    All.FusedCmpCbr += R.FusedCmpCbr;
+    All.FusedLoadIOp += R.FusedLoadIOp;
+    All.FusedSpillTriple += R.FusedSpillTriple;
+    All.FusedPair += R.FusedPair;
+  }
+  Results.push_back(All);
+
+  if (Flags.Json) {
+    json::Array Rows;
+    for (const ProgResult &R : Results) {
+      json::Object Row;
+      Row["program"] = R.Name;
+      Row["group"] = R.Group;
+      Row["k"] = K;
+      Row["reps"] = Reps;
+      Row["instructions"] = R.Cycles;
+      Row["switch_sec"] = R.SwitchSec;
+      Row["threaded_sec"] = R.ThreadedSec;
+      Row["switch_minstr_per_sec"] = R.switchMinstr();
+      Row["threaded_minstr_per_sec"] = R.threadedMinstr();
+      Row["speedup"] = R.speedup();
+      Row["fused_cmp_cbr"] = R.FusedCmpCbr;
+      Row["fused_loadi_op"] = R.FusedLoadIOp;
+      Row["fused_spill_triple"] = R.FusedSpillTriple;
+      Row["fused_pair"] = R.FusedPair;
+      Rows.push_back(json::Value(std::move(Row)));
+    }
+    std::printf("%s\n",
+                benchDoc("interp-throughput", std::move(Rows)).str(2).c_str());
+    return 0;
+  }
+
+  if (Flags.Csv) {
+    std::printf("program,group,k,reps,instructions,switch_sec,threaded_sec,"
+                "switch_minstr_per_sec,threaded_minstr_per_sec,speedup,"
+                "fused_cmp_cbr,fused_loadi_op,fused_spill_triple,"
+                "fused_pair\n");
+    for (const ProgResult &R : Results)
+      std::printf("%s,%s,%u,%u,%llu,%.9f,%.9f,%.2f,%.2f,%.2f,%llu,%llu,"
+                  "%llu,%llu\n",
+                  R.Name, R.Group, K, Reps,
+                  static_cast<unsigned long long>(R.Cycles), R.SwitchSec,
+                  R.ThreadedSec, R.switchMinstr(), R.threadedMinstr(),
+                  R.speedup(),
+                  static_cast<unsigned long long>(R.FusedCmpCbr),
+                  static_cast<unsigned long long>(R.FusedLoadIOp),
+                  static_cast<unsigned long long>(R.FusedSpillTriple),
+                  static_cast<unsigned long long>(R.FusedPair));
+    return 0;
+  }
+
+  std::printf("Interpreter throughput, Table 1 corpus under RAP k=%u "
+              "(%u reps, interleaved medians)\n\n",
+              K, Reps);
+  std::printf("%-14s %12s %10s %10s %8s  %s\n", "program", "instrs",
+              "sw Mi/s", "th Mi/s", "speedup", "fused cmp/ldi/spill/pair");
+  for (const ProgResult &R : Results)
+    std::printf("%-14s %12llu %10.1f %10.1f %7.2fx  %llu/%llu/%llu/%llu\n",
+                R.Name,
+                static_cast<unsigned long long>(R.Cycles), R.switchMinstr(),
+                R.threadedMinstr(), R.speedup(),
+                static_cast<unsigned long long>(R.FusedCmpCbr),
+                static_cast<unsigned long long>(R.FusedLoadIOp),
+                static_cast<unsigned long long>(R.FusedSpillTriple),
+                static_cast<unsigned long long>(R.FusedPair));
+  return 0;
+}

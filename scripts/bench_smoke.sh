@@ -4,8 +4,11 @@
 # from the tiny min_time are NOT meaningful; use a longer --benchmark_min_time
 # run for real measurements.
 #
-# Artifacts (repo root, gitignored, uploaded by CI):
-#   BENCH_alloc.json  machine-readable "rap-bench-v1" counters (alloc_cost --json)
+# Artifacts (repo root, committed snapshots, refreshed + uploaded by CI):
+#   BENCH_alloc.json  machine-readable "rap-bench-v1" counters (alloc_cost
+#                     --json), plus an "interp_throughput" section recording
+#                     the threaded-vs-switch interpreter speedup over the
+#                     Table 1 corpus (interp_throughput --json)
 #   BENCH_trace.json  sample Chrome trace of a rapcc allocation (--trace)
 #
 # Usage: scripts/bench_smoke.sh [build-dir]
@@ -15,12 +18,31 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 
 cmake -S "$REPO_ROOT" -B "$BUILD_DIR" >/dev/null
-cmake --build "$BUILD_DIR" --target alloc_cost alloc_scale rapcc -j "$(nproc)"
+cmake --build "$BUILD_DIR" --target alloc_cost alloc_scale interp_throughput rapcc -j "$(nproc)"
 
 # Machine-readable counters, shared rap-bench-v1 schema.
 "$BUILD_DIR/bench/alloc_cost" --json > "$REPO_ROOT/BENCH_alloc.json"
 python3 -c "import json,sys; d=json.load(open('$REPO_ROOT/BENCH_alloc.json')); assert d['schema']=='rap-bench-v1' and d['rows'], 'bad bench schema'" \
   2>/dev/null || { echo "BENCH_alloc.json failed schema check" >&2; exit 1; }
+
+# Interpreter throughput (threaded vs reference switch engine, interleaved
+# medians) folded into BENCH_alloc.json as its "interp_throughput" section:
+# one committed artifact carries both the allocation counters and the
+# interpreter speedup snapshot.
+"$BUILD_DIR/bench/interp_throughput" --json --reps=3 > "$REPO_ROOT/BENCH_interp_tmp.json"
+python3 - "$REPO_ROOT" <<'PYEOF'
+import json, sys
+root = sys.argv[1]
+interp = json.load(open(f"{root}/BENCH_interp_tmp.json"))
+assert interp["schema"] == "rap-bench-v1" and interp["rows"], "bad interp schema"
+alloc = json.load(open(f"{root}/BENCH_alloc.json"))
+alloc["interp_throughput"] = interp
+json.dump(alloc, open(f"{root}/BENCH_alloc.json", "w"), indent=2)
+agg = [r for r in interp["rows"] if r["program"] == "ALL"][0]
+print(f"interp throughput: {agg['threaded_minstr_per_sec']:.0f} Mi/s threaded vs "
+      f"{agg['switch_minstr_per_sec']:.0f} Mi/s switch ({agg['speedup']:.2f}x)")
+PYEOF
+rm -f "$REPO_ROOT/BENCH_interp_tmp.json"
 
 # Sample allocation trace (Chrome trace-event JSON, one rapcc compile).
 TRACE_SRC="$(mktemp /tmp/bench_smoke.XXXXXX.mc)"

@@ -35,6 +35,11 @@
 ///     --fuel=N                  instruction budget for --run (default
 ///                               500000000); a program that does not halt
 ///                               within it traps with "fuel-exhausted"
+///     --interp=threaded|switch  execution engine for --run: the pre-decoded
+///                               direct-threaded engine (default) or the
+///                               reference switch engine (DESIGN.md §11);
+///                               when the flag is absent the default follows
+///                               the RAP_INTERP environment variable
 ///     --run (default)           execute main() and print result + counters
 ///
 /// Exit-code map (the crash-free contract: every input lands on exactly one
@@ -77,6 +82,7 @@ void usage() {
       "             [--threads=N] [--verify] [--no-fallback]\n"
       "             [--dump=iloc|tree|dot|cfg] [--func=NAME]\n"
       "             [--stats[=text|json]] [--trace=FILE] [--fuel=N]\n"
+      "             [--interp=threaded|switch]\n"
       "exit codes: 0 ok, 1 compile error, 2 usage, 3 degraded, 4 runtime "
       "trap\n");
 }
@@ -98,6 +104,7 @@ int main(int argc, char **argv) {
   std::string Func = "main";
   std::string StatsMode; ///< "", "text", or "json"
   std::string TracePath;
+  InterpOptions InterpOpts;
   CompileOptions Opts;
   Opts.Allocator = AllocatorKind::Rap;
   // The CLI favors producing *a* correct program: allocation errors degrade
@@ -182,6 +189,16 @@ int main(int argc, char **argv) {
         return 2;
       }
       Opts.InterpFuel = static_cast<uint64_t>(Fuel);
+    } else if (startsWith(Arg, "--interp=")) {
+      const char *Mode = Arg + 9;
+      if (std::strcmp(Mode, "threaded") == 0) {
+        InterpOpts.Dispatch = DispatchKind::Threaded;
+      } else if (std::strcmp(Mode, "switch") == 0) {
+        InterpOpts.Dispatch = DispatchKind::Switch;
+      } else {
+        std::fprintf(stderr, "rapcc: unknown interpreter engine '%s'\n", Mode);
+        return 2;
+      }
     } else if (std::strcmp(Arg, "--run") == 0) {
       Dump.clear();
     } else if (Arg[0] == '-') {
@@ -270,7 +287,7 @@ int main(int argc, char **argv) {
     return Degraded ? 3 : 0;
   }
 
-  Interpreter Interp(*CR.Prog);
+  Interpreter Interp(*CR.Prog, InterpOpts);
   RunResult R = Interp.run("main", Opts.InterpFuel);
   if (!R.Ok) {
     // Runtime traps get their own exit code (4): the compile succeeded, the

@@ -3,47 +3,30 @@
 // Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
 //
 //===----------------------------------------------------------------------===//
+//
+// This file holds the interpreter's shell (construction, run setup, trap
+// rendering) and the reference switch engine. The reference engine is the
+// behavioral specification: it executes the linearized stream one
+// instruction at a time with a fuel check before each, and every other
+// execution strategy must be observationally equal to it. It is written for
+// clarity over speed — the direct-threaded engine (Threaded.cpp) is the fast
+// path, and hands runs to this engine when the fuel budget nears exhaustion.
+//
+//===----------------------------------------------------------------------===//
 
 #include "interp/Interpreter.h"
 
+#include "interp/Engine.h"
+#include "interp/WrapMath.h"
+#include "support/Env.h"
+
 #include <algorithm>
 #include <cassert>
-#include <cmath>
+#include <cstring>
 #include <sstream>
 
 using namespace rap;
-
-namespace {
-
-// MiniC integers are a 64-bit two's-complement machine word: arithmetic
-// wraps on overflow. Computing through uint64_t keeps that wraparound
-// well-defined (signed overflow is UB and aborts sanitized builds).
-int64_t wrapAdd(int64_t A, int64_t B) {
-  return static_cast<int64_t>(static_cast<uint64_t>(A) +
-                              static_cast<uint64_t>(B));
-}
-int64_t wrapSub(int64_t A, int64_t B) {
-  return static_cast<int64_t>(static_cast<uint64_t>(A) -
-                              static_cast<uint64_t>(B));
-}
-int64_t wrapMul(int64_t A, int64_t B) {
-  return static_cast<int64_t>(static_cast<uint64_t>(A) *
-                              static_cast<uint64_t>(B));
-}
-// INT64_MIN / -1 (and % -1) is the one overflowing division; it traps on
-// x86, so define it to the wrapped quotient INT64_MIN (remainder 0).
-int64_t wrapDiv(int64_t A, int64_t B) {
-  if (B == -1)
-    return wrapSub(0, A);
-  return A / B;
-}
-int64_t wrapMod(int64_t A, int64_t B) {
-  if (B == -1)
-    return 0;
-  return A % B;
-}
-
-} // namespace
+using namespace rap::interp;
 
 const char *rap::trapKindName(TrapKind Kind) {
   switch (Kind) {
@@ -74,12 +57,24 @@ std::string Trap::str() const {
   return Out;
 }
 
-Interpreter::Interpreter(const IlocProgram &Prog) : Prog(Prog) {
+DispatchKind rap::defaultInterpDispatch() {
+  const std::optional<std::string> &V = env::get("RAP_INTERP");
+  if (V && *V == "switch")
+    return DispatchKind::Switch;
+  return DispatchKind::Threaded;
+}
+
+Interpreter::Interpreter(const IlocProgram &Prog, InterpOptions Opts)
+    : Prog(Prog), Dispatch(Opts.Dispatch) {
   Funcs.reserve(Prog.functions().size());
   for (const auto &F : Prog.functions()) {
     CachedFunc C;
     C.F = F.get();
     C.Code = linearize(*F);
+    C.RegCount = F->isAllocated() ? F->numPhysRegs() : F->numVRegs();
+    C.SpillCount = static_cast<uint32_t>(F->numSpillSlots());
+    if (Dispatch == DispatchKind::Threaded)
+      C.Dec = decodeFunction(Prog, *F, C.Code, DecodeArena);
     Funcs.push_back(std::move(C));
   }
   GlobalEnd.assign(static_cast<size_t>(Prog.globalMemorySize()), -1);
@@ -87,26 +82,85 @@ Interpreter::Interpreter(const IlocProgram &Prog) : Prog(Prog) {
     GlobalEnd[G.Addr] = G.Addr + G.Size;
 }
 
+Interpreter::~Interpreter() = default;
+
+uint64_t Interpreter::fusedCmpCbr() const {
+  uint64_t N = 0;
+  for (const CachedFunc &C : Funcs)
+    N += C.Dec.FusedCmpCbr;
+  return N;
+}
+
+uint64_t Interpreter::fusedLoadIOp() const {
+  uint64_t N = 0;
+  for (const CachedFunc &C : Funcs)
+    N += C.Dec.FusedLoadIOp;
+  return N;
+}
+
+uint64_t Interpreter::fusedSpillTriples() const {
+  uint64_t N = 0;
+  for (const CachedFunc &C : Funcs)
+    N += C.Dec.FusedSpillTriple;
+  return N;
+}
+
+uint64_t Interpreter::fusedPairs() const {
+  uint64_t N = 0;
+  for (const CachedFunc &C : Funcs)
+    N += C.Dec.FusedPair;
+  return N;
+}
+
+uint64_t Interpreter::decodedOpCount(const char *Name) const {
+  uint64_t N = 0;
+  for (const CachedFunc &C : Funcs)
+    for (uint32_t I = 0; I != C.Dec.NumOps; ++I)
+      if (std::strcmp(dopName(C.Dec.Ops[I].Op), Name) == 0)
+        ++N;
+  return N;
+}
+
 RunResult Interpreter::run(const std::string &Entry, uint64_t Fuel,
                            bool CollectPerFunction) {
-  RunResult Res;
+  RunResult Setup;
   const IlocFunction *EntryF = Prog.findFunction(Entry);
   if (!EntryF) {
-    Res.Error = "entry function '" + Entry + "' not found";
-    Res.TrapInfo = {TrapKind::NoEntry, 0, Entry, Res.Error};
-    return Res;
+    Setup.Error = "entry function '" + Entry + "' not found";
+    Setup.TrapInfo = {TrapKind::NoEntry, 0, Entry, Setup.Error};
+    return Setup;
   }
   int EntryId = Prog.functionId(EntryF);
   if (EntryF->numParams() != 0) {
-    Res.Error = "entry function '" + Entry + "' must take no parameters";
-    Res.TrapInfo = {TrapKind::NoEntry, 0, Entry, Res.Error};
-    return Res;
+    Setup.Error = "entry function '" + Entry + "' must take no parameters";
+    Setup.TrapInfo = {TrapKind::NoEntry, 0, Entry, Setup.Error};
+    return Setup;
   }
 
   Glob.assign(static_cast<size_t>(Prog.globalMemorySize()),
               RtValue::makeInt(0));
 
-  std::vector<Frame> Stack;
+  Engine E{Funcs, Glob, GlobalEnd, Fuel, CollectPerFunction,
+           {}, {}, 0, {}, {}};
+  if (CollectPerFunction)
+    E.PerF.assign(Funcs.size(), ExecStats());
+  E.pushFrame(EntryId, NoReg);
+  E.Res.Stats.MaxCallDepth = 1;
+
+  if (Dispatch == DispatchKind::Threaded)
+    E.runThreaded();
+  else
+    E.runSwitch();
+  return std::move(E.Res);
+}
+
+//===----------------------------------------------------------------------===//
+// The reference switch engine.
+//===----------------------------------------------------------------------===//
+
+void Engine::runSwitch() {
+  ExecStats &S = Res.Stats;
+
   auto Fail = [&](TrapKind Kind, const Instr *I, const std::string &Msg) {
     std::ostringstream OS;
     OS << Msg << " (at '" << I->str() << "')";
@@ -118,38 +172,15 @@ RunResult Interpreter::run(const std::string &Entry, uint64_t Fuel,
       Res.TrapInfo.PC = Stack.back().PC;
       Res.TrapInfo.Function = Funcs[Stack.back().FuncId].F->name();
     }
-    return Res;
-  };
-
-  auto MakeFrame = [&](int FuncId) {
-    const IlocFunction *F = Funcs[FuncId].F;
-    Frame Fr;
-    Fr.FuncId = FuncId;
-    Fr.PC = 0;
-    unsigned RegCount =
-        F->isAllocated() ? F->numPhysRegs() : F->numVRegs();
-    Fr.Regs.assign(RegCount, RtValue::makeInt(0));
-    Fr.Spill.assign(static_cast<size_t>(F->numSpillSlots()),
-                    RtValue::makeInt(0));
-    return Fr;
-  };
-
-  Stack.push_back(MakeFrame(EntryId));
-  ExecStats &S = Res.Stats;
-  S.MaxCallDepth = 1;
-  std::vector<ExecStats> PerF(CollectPerFunction ? Funcs.size() : 0);
-  auto FinishPerFunction = [&] {
-    for (size_t Id = 0; Id != PerF.size(); ++Id)
-      if (PerF[Id].Cycles)
-        Res.PerFunction.emplace_back(Funcs[Id].F->name(), PerF[Id]);
   };
 
   // Performs a return: pops the frame and writes the value into the caller.
   auto DoReturn = [&](RtValue V) {
-    Reg Dst = Stack.back().ReturnDst;
+    Frame Popped = Stack.back();
     Stack.pop_back();
-    if (!Stack.empty() && Dst != NoReg)
-      Stack.back().Regs[Dst] = V;
+    CellTop = Popped.Base;
+    if (!Stack.empty() && Popped.ReturnDst != NoReg)
+      Cells[Stack.back().Base + Popped.ReturnDst] = V;
     return V;
   };
 
@@ -168,7 +199,7 @@ RunResult Interpreter::run(const std::string &Entry, uint64_t Fuel,
       Res.TrapInfo = {TrapKind::FuelExhausted, Fr.PC, C.F->name(),
                       "executed " + std::to_string(S.Cycles) +
                           " instructions without halting"};
-      return Res;
+      return;
     }
 
     const Instr *I = Instrs[Fr.PC];
@@ -198,105 +229,107 @@ RunResult Interpreter::run(const std::string &Entry, uint64_t Fuel,
       P.Calls += I->Op == Opcode::Call;
     }
 
-    auto R = [&](unsigned Idx) -> RtValue & { return Fr.Regs[I->Src[Idx]]; };
+    // The frame's register window: registers first, then spill slots.
+    RtValue *Regs = Cells.data() + Fr.Base;
+    RtValue *Spill = Regs + C.RegCount;
+    auto R = [&](unsigned Idx) -> RtValue & { return Regs[I->Src[Idx]]; };
     unsigned NextPC = Fr.PC + 1;
 
     switch (I->Op) {
     case Opcode::LoadI:
     case Opcode::LoadF:
-      Fr.Regs[I->Dst] = I->Imm;
+      Regs[I->Dst] = I->Imm;
       break;
     case Opcode::Mv:
-      Fr.Regs[I->Dst] = R(0);
+      Regs[I->Dst] = R(0);
       break;
     case Opcode::Add:
-      Fr.Regs[I->Dst] = RtValue::makeInt(wrapAdd(R(0).asInt(), R(1).asInt()));
+      Regs[I->Dst] = RtValue::makeInt(wrapAdd(R(0).asInt(), R(1).asInt()));
       break;
     case Opcode::Sub:
-      Fr.Regs[I->Dst] = RtValue::makeInt(wrapSub(R(0).asInt(), R(1).asInt()));
+      Regs[I->Dst] = RtValue::makeInt(wrapSub(R(0).asInt(), R(1).asInt()));
       break;
     case Opcode::Mul:
-      Fr.Regs[I->Dst] = RtValue::makeInt(wrapMul(R(0).asInt(), R(1).asInt()));
+      Regs[I->Dst] = RtValue::makeInt(wrapMul(R(0).asInt(), R(1).asInt()));
       break;
     case Opcode::Div:
       if (R(1).asInt() == 0)
         return Fail(TrapKind::DivideByZero, I, "integer division by zero");
-      Fr.Regs[I->Dst] = RtValue::makeInt(wrapDiv(R(0).asInt(), R(1).asInt()));
+      Regs[I->Dst] = RtValue::makeInt(wrapDiv(R(0).asInt(), R(1).asInt()));
       break;
     case Opcode::Mod:
       if (R(1).asInt() == 0)
         return Fail(TrapKind::DivideByZero, I, "integer modulo by zero");
-      Fr.Regs[I->Dst] = RtValue::makeInt(wrapMod(R(0).asInt(), R(1).asInt()));
+      Regs[I->Dst] = RtValue::makeInt(wrapMod(R(0).asInt(), R(1).asInt()));
       break;
     case Opcode::Neg:
-      Fr.Regs[I->Dst] = RtValue::makeInt(wrapSub(0, R(0).asInt()));
+      Regs[I->Dst] = RtValue::makeInt(wrapSub(0, R(0).asInt()));
       break;
     case Opcode::And:
-      Fr.Regs[I->Dst] =
+      Regs[I->Dst] =
           RtValue::makeInt((R(0).asInt() != 0 && R(1).asInt() != 0) ? 1 : 0);
       break;
     case Opcode::Or:
-      Fr.Regs[I->Dst] =
+      Regs[I->Dst] =
           RtValue::makeInt((R(0).asInt() != 0 || R(1).asInt() != 0) ? 1 : 0);
       break;
     case Opcode::Not:
-      Fr.Regs[I->Dst] = RtValue::makeInt(R(0).asInt() == 0 ? 1 : 0);
+      Regs[I->Dst] = RtValue::makeInt(R(0).asInt() == 0 ? 1 : 0);
       break;
     case Opcode::FAdd:
-      Fr.Regs[I->Dst] = RtValue::makeFloat(R(0).asFloat() + R(1).asFloat());
+      Regs[I->Dst] = RtValue::makeFloat(R(0).asFloat() + R(1).asFloat());
       break;
     case Opcode::FSub:
-      Fr.Regs[I->Dst] = RtValue::makeFloat(R(0).asFloat() - R(1).asFloat());
+      Regs[I->Dst] = RtValue::makeFloat(R(0).asFloat() - R(1).asFloat());
       break;
     case Opcode::FMul:
-      Fr.Regs[I->Dst] = RtValue::makeFloat(R(0).asFloat() * R(1).asFloat());
+      Regs[I->Dst] = RtValue::makeFloat(R(0).asFloat() * R(1).asFloat());
       break;
     case Opcode::FDiv:
       if (R(1).asFloat() == 0.0)
-        return Fail(TrapKind::DivideByZero, I, "floating-point division by zero");
-      Fr.Regs[I->Dst] = RtValue::makeFloat(R(0).asFloat() / R(1).asFloat());
+        return Fail(TrapKind::DivideByZero, I,
+                    "floating-point division by zero");
+      Regs[I->Dst] = RtValue::makeFloat(R(0).asFloat() / R(1).asFloat());
       break;
     case Opcode::FNeg:
-      Fr.Regs[I->Dst] = RtValue::makeFloat(-R(0).asFloat());
+      Regs[I->Dst] = RtValue::makeFloat(-R(0).asFloat());
       break;
     case Opcode::CmpEQ:
-      Fr.Regs[I->Dst] = RtValue::makeInt(R(0) == R(1) ? 1 : 0);
+      Regs[I->Dst] = RtValue::makeInt(R(0) == R(1) ? 1 : 0);
       break;
     case Opcode::CmpNE:
-      Fr.Regs[I->Dst] = RtValue::makeInt(R(0) != R(1) ? 1 : 0);
+      Regs[I->Dst] = RtValue::makeInt(R(0) != R(1) ? 1 : 0);
       break;
     case Opcode::CmpLT:
-      Fr.Regs[I->Dst] =
+      Regs[I->Dst] =
           RtValue::makeInt(R(0).asNumber() < R(1).asNumber() ? 1 : 0);
       break;
     case Opcode::CmpLE:
-      Fr.Regs[I->Dst] =
+      Regs[I->Dst] =
           RtValue::makeInt(R(0).asNumber() <= R(1).asNumber() ? 1 : 0);
       break;
     case Opcode::CmpGT:
-      Fr.Regs[I->Dst] =
+      Regs[I->Dst] =
           RtValue::makeInt(R(0).asNumber() > R(1).asNumber() ? 1 : 0);
       break;
     case Opcode::CmpGE:
-      Fr.Regs[I->Dst] =
+      Regs[I->Dst] =
           RtValue::makeInt(R(0).asNumber() >= R(1).asNumber() ? 1 : 0);
       break;
     case Opcode::I2F:
-      Fr.Regs[I->Dst] =
-          RtValue::makeFloat(static_cast<double>(R(0).asInt()));
+      Regs[I->Dst] = RtValue::makeFloat(static_cast<double>(R(0).asInt()));
       break;
     case Opcode::F2I:
-      Fr.Regs[I->Dst] =
-          RtValue::makeInt(static_cast<int64_t>(R(0).asFloat()));
+      Regs[I->Dst] = RtValue::makeInt(static_cast<int64_t>(R(0).asFloat()));
       break;
     case Opcode::LdSpill:
-      Fr.Regs[I->Dst] = Fr.Spill[I->Slot];
+      Regs[I->Dst] = Spill[I->Slot];
       break;
     case Opcode::StSpill:
-      Fr.Spill[I->Slot] = R(0);
+      Spill[I->Slot] = R(0);
       break;
     case Opcode::LdGlob:
-      Fr.Regs[I->Dst] = Glob[I->Addr];
+      Regs[I->Dst] = Glob[I->Addr];
       break;
     case Opcode::StGlob:
       Glob[I->Addr] = R(0);
@@ -308,7 +341,7 @@ RunResult Interpreter::run(const std::string &Entry, uint64_t Fuel,
         return Fail(TrapKind::OutOfBounds, I,
                     "array load out of bounds (index " + std::to_string(Off) +
                         ")");
-      Fr.Regs[I->Dst] = Glob[I->Addr + Off];
+      Regs[I->Dst] = Glob[I->Addr + Off];
       break;
     }
     case Opcode::StIdx: {
@@ -330,43 +363,40 @@ RunResult Interpreter::run(const std::string &Entry, uint64_t Fuel,
       break;
     case Opcode::Call: {
       ++S.Calls;
-      if (Stack.size() >= 100000)
+      if (Stack.size() >= MaxCallStack)
         return Fail(TrapKind::StackOverflow, I, "call stack overflow");
       const IlocFunction *Callee = Funcs[I->Callee].F;
-      Frame NewFr = MakeFrame(I->Callee);
-      NewFr.ReturnDst = I->Dst;
       if (I->Src.size() != Callee->numParams())
         return Fail(TrapKind::BadCall, I,
                     "call passes " + std::to_string(I->Src.size()) +
                         " arguments to '" + Callee->name() + "' expecting " +
                         std::to_string(Callee->numParams()));
+      Fr.PC = NextPC; // resume point after return
+      pushFrame(I->Callee, I->Dst); // invalidates Fr/Regs
+      Frame &Caller = Stack[Stack.size() - 2];
+      RtValue *CallerRegs = Cells.data() + Caller.Base;
+      RtValue *CalleeRegs = Cells.data() + Stack.back().Base;
       for (unsigned A = 0; A != I->Src.size(); ++A) {
         // NoReg marks a parameter the callee never reads; writing it anyway
         // would clobber whichever live register the allocator reused.
         Reg PR = Callee->paramReg(A);
         if (PR != NoReg)
-          NewFr.Regs[PR] = Fr.Regs[I->Src[A]];
+          CalleeRegs[PR] = CallerRegs[I->Src[A]];
       }
-      Fr.PC = NextPC; // resume point after return
-      Stack.push_back(std::move(NewFr));
       S.MaxCallDepth = std::max<uint64_t>(S.MaxCallDepth, Stack.size());
       continue;
     }
     case Opcode::Ret: {
-      RtValue V =
-          I->Src.empty() ? RtValue::makeInt(0) : Fr.Regs[I->Src[0]];
+      RtValue V = I->Src.empty() ? RtValue::makeInt(0) : Regs[I->Src[0]];
       Res.ReturnValue = DoReturn(V);
       continue;
     }
     case Opcode::Halt:
-      Res.Ok = true;
-      FinishPerFunction();
-      return Res;
+      finish();
+      return;
     }
     Fr.PC = NextPC;
   }
 
-  Res.Ok = true;
-  FinishPerFunction();
-  return Res;
+  finish();
 }

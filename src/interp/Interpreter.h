@@ -16,6 +16,20 @@
 /// and returns cost one cycle each; argument marshalling is free, identical
 /// for both allocators (see DESIGN.md, "Calls").
 ///
+/// Two execution engines share one observable behavior (DESIGN.md §11):
+///
+///   * Threaded (default): each function is pre-decoded once into a flat
+///     buffer of resolved ops with fused superinstructions, dispatched via
+///     computed goto where the toolchain supports it (a portable switch
+///     otherwise), with fuel checked per basic-block stretch.
+///   * Switch: the original one-instruction-at-a-time reference engine over
+///     the linearized stream. It is the differential-testing oracle, the
+///     benchmark baseline, and the fallback the threaded engine hands a run
+///     to when the fuel budget nears exhaustion.
+///
+/// Cycle counts, traps, fuel semantics, and telemetry are identical between
+/// the two — asserted over the fuzz corpus by the differential test.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RAP_INTERP_INTERPRETER_H
@@ -23,12 +37,18 @@
 
 #include "ir/IlocProgram.h"
 #include "ir/Linearize.h"
+#include "support/Arena.h"
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace rap {
+
+namespace interp {
+struct CachedFunc;
+struct Engine;
+} // namespace interp
 
 /// Dynamic execution counters (Table 1 raw data).
 struct ExecStats {
@@ -88,11 +108,32 @@ struct RunResult {
   std::vector<std::pair<std::string, ExecStats>> PerFunction;
 };
 
+/// Which execution engine drives a run. Threaded and Switch are observably
+/// identical; Switch exists as oracle, baseline, and bail-out target.
+enum class DispatchKind {
+  Threaded, ///< pre-decoded ops, superinstructions, block-granular fuel
+  Switch,   ///< per-instruction reference engine over the linearized stream
+};
+
+/// Process default: Switch when the environment sets RAP_INTERP=switch,
+/// Threaded otherwise (including RAP_INTERP=threaded and unset).
+DispatchKind defaultInterpDispatch();
+
+/// Per-interpreter configuration. The default engine follows RAP_INTERP so
+/// the whole test suite can be forced onto the reference engine without
+/// touching call sites (the CI switch-fallback job does exactly that).
+struct InterpOptions {
+  DispatchKind Dispatch = defaultInterpDispatch();
+};
+
 class Interpreter {
 public:
-  /// Caches a linearization of every function; the program must not be
-  /// mutated while the interpreter is alive.
-  explicit Interpreter(const IlocProgram &Prog);
+  /// Caches a linearization of every function — and, for the threaded
+  /// engine, a pre-decoded form resolved against the program's current
+  /// register assignment — so the program must not be mutated while the
+  /// interpreter is alive.
+  explicit Interpreter(const IlocProgram &Prog, InterpOptions Opts = {});
+  ~Interpreter();
 
   /// Runs \p Entry (default "main", which must take no parameters) on
   /// zero-initialized global memory. \p Fuel bounds the number of executed
@@ -106,26 +147,36 @@ public:
   /// Global memory after the last run (for tests inspecting results).
   const std::vector<RtValue> &globalMemory() const { return Glob; }
 
+  /// The engine selected at construction.
+  DispatchKind dispatch() const { return Dispatch; }
+
+  /// Superinstructions fused across all functions, by kind — decode
+  /// telemetry for tests and the throughput harness (zero under Switch,
+  /// which never decodes).
+  uint64_t fusedCmpCbr() const;
+  uint64_t fusedLoadIOp() const;
+  uint64_t fusedSpillTriples() const;
+  /// loadI+cmp+cbr triples plus the adjacent-pair superinstructions.
+  uint64_t fusedPairs() const;
+
+  /// Bytes of decoded-op storage held by the decode arena.
+  size_t decodeBytes() const { return DecodeArena.bytesAllocated(); }
+
+  /// Static count of decoded ops with mnemonic \p Name ("mul_add_ldx",
+  /// "loadi_cmp_lt_cbr", ...) across all functions — lets tests assert a
+  /// source pattern actually decoded to the superinstruction under test.
+  /// Zero under Switch, which never decodes.
+  uint64_t decodedOpCount(const char *Name) const;
+
 private:
-  struct CachedFunc {
-    const IlocFunction *F = nullptr;
-    LinearCode Code;
-  };
-
-  struct Frame {
-    int FuncId = -1;
-    unsigned PC = 0;
-    std::vector<RtValue> Regs;
-    std::vector<RtValue> Spill;
-    Reg ReturnDst = NoReg; ///< caller register receiving the return value
-  };
-
   const IlocProgram &Prog;
-  std::vector<CachedFunc> Funcs;
+  DispatchKind Dispatch;
+  Arena DecodeArena; ///< owns every decoded buffer; freed with *this
+  std::vector<interp::CachedFunc> Funcs;
   std::vector<RtValue> Glob;
   /// For strict array bounds checks: end address of the global that starts
-  /// at a given base address.
-  std::vector<int> GlobalEnd; ///< indexed by cell address; -1 if not a base
+  /// at a given cell address; -1 if the address is not a global's base.
+  std::vector<int> GlobalEnd;
 };
 
 } // namespace rap

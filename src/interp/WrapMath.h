@@ -1,0 +1,51 @@
+//===- interp/WrapMath.h - Wrapping integer semantics -----------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniC integer semantics shared by the reference switch engine and the
+/// direct-threaded engine: a 64-bit two's-complement machine word whose
+/// arithmetic wraps on overflow. Computing through uint64_t keeps the
+/// wraparound well-defined (signed overflow is UB and aborts sanitized
+/// builds). Both engines must agree bit-for-bit — the differential test
+/// compares their results over the fuzz corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_INTERP_WRAPMATH_H
+#define RAP_INTERP_WRAPMATH_H
+
+#include <cstdint>
+
+namespace rap::interp {
+
+inline int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+inline int64_t wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+inline int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+// INT64_MIN / -1 (and % -1) is the one overflowing division; it traps on
+// x86, so define it to the wrapped quotient INT64_MIN (remainder 0).
+inline int64_t wrapDiv(int64_t A, int64_t B) {
+  if (B == -1)
+    return wrapSub(0, A);
+  return A / B;
+}
+inline int64_t wrapMod(int64_t A, int64_t B) {
+  if (B == -1)
+    return 0;
+  return A % B;
+}
+
+} // namespace rap::interp
+
+#endif // RAP_INTERP_WRAPMATH_H

@@ -17,6 +17,7 @@
 
 #include "ir/Opcode.h"
 #include "ir/RtValue.h"
+#include "support/SmallVector.h"
 
 #include <cstdint>
 #include <string>
@@ -31,6 +32,11 @@ using Reg = uint32_t;
 /// Sentinel for "no register" (e.g. the Dst of a store).
 inline constexpr Reg NoReg = ~Reg(0);
 
+/// Operand list with two inline slots: everything but calls fits without a
+/// heap allocation, so creating an instruction never touches the allocator
+/// on the lowering and spill-rewrite hot paths.
+using RegList = SmallVector<Reg, 2>;
+
 struct Instr {
   /// Unique id within the owning function; stable across code edits.
   unsigned Id = 0;
@@ -41,7 +47,7 @@ struct Instr {
   Reg Dst = NoReg;
 
   /// Used registers, in operand order. For Call this is the argument list.
-  std::vector<Reg> Src;
+  RegList Src;
 
   /// Immediate for LoadI/LoadF.
   RtValue Imm;

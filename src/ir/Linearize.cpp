@@ -14,16 +14,16 @@ namespace {
 
 class Linearizer {
 public:
-  explicit Linearizer(IlocFunction &F) : F(F) {
+  Linearizer(IlocFunction &F, LinearCode &Out) : F(F), Out(Out) {
+    Out.Instrs.clear();
     Out.LabelPos.assign(F.numLabels(), 0);
   }
 
-  LinearCode run() {
+  void run() {
     assert(F.root() && "function has no region tree");
     emitNode(F.root());
     for (unsigned I = 0, E = Out.Instrs.size(); I != E; ++I)
       Out.Instrs[I]->LinPos = I;
-    return std::move(Out);
   }
 
 private:
@@ -103,9 +103,17 @@ private:
   }
 
   IlocFunction &F;
-  LinearCode Out;
+  LinearCode &Out;
 };
 
 } // namespace
 
-LinearCode rap::linearize(IlocFunction &F) { return Linearizer(F).run(); }
+LinearCode rap::linearize(IlocFunction &F) {
+  LinearCode Out;
+  Linearizer(F, Out).run();
+  return Out;
+}
+
+void rap::linearize(IlocFunction &F, LinearCode &Out) {
+  Linearizer(F, Out).run();
+}

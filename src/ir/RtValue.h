@@ -52,6 +52,13 @@ public:
   /// Numeric view used by polymorphic comparisons.
   double asNumber() const { return IsFloat ? F : static_cast<double>(I); }
 
+  /// Unchecked reads for the threaded interpreter's hot path, where the
+  /// program is known well-typed (MiniC is statically typed, so a register
+  /// read with the wrong tag cannot occur in type-checked input) and the
+  /// tag assertion per operand read would dominate the dispatch loop.
+  int64_t rawInt() const { return I; }
+  double rawFloat() const { return F; }
+
   bool operator==(const RtValue &O) const {
     if (IsFloat != O.IsFloat)
       return false;

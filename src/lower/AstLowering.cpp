@@ -380,7 +380,7 @@ private:
     case ExprKind::Call: {
       const IlocFunction *Callee = Prog.findFunction(E.Name);
       lowerCheck(Callee != nullptr, "sema guarantees the callee exists");
-      std::vector<Reg> Args;
+      RegList Args;
       Args.reserve(E.Args.size());
       for (const auto &A : E.Args)
         Args.push_back(lowerExpr(*A));

@@ -36,10 +36,11 @@ struct CodeInfo {
   double LivenessSeconds = 0; ///< wall time of the Liveness construction
   Liveness Live;
 
-  /// \p Prev is consumed (its liveness buffers are scavenged); callers
-  /// replace the old CodeInfo with this one immediately after.
+  /// \p Prev is consumed (its liveness buffers are scavenged and its
+  /// linearization vectors reused); callers replace the old CodeInfo with
+  /// this one immediately after.
   explicit CodeInfo(IlocFunction &F, CodeInfo *Prev = nullptr)
-      : Code(linearize(F)), Graph(Code),
+      : Code(relinearized(F, Prev)), Graph(Code),
         Live(timedLiveness(*this, F.numVRegs(),
                            Prev ? &Prev->Live : nullptr)),
         NumVRegs(F.numVRegs()) {}
@@ -54,6 +55,13 @@ struct CodeInfo {
 private:
   static Liveness timedLiveness(CodeInfo &CI, unsigned NumVRegs,
                                 Liveness *Prev);
+
+  /// Relinearizes \p F, scavenging the previous round's vectors.
+  static LinearCode relinearized(IlocFunction &F, CodeInfo *Prev) {
+    LinearCode Out = Prev ? std::move(Prev->Code) : LinearCode();
+    linearize(F, Out);
+    return Out;
+  }
 
   unsigned NumVRegs;
   mutable std::unique_ptr<DataDependence> DD;

@@ -1,0 +1,131 @@
+//===- support/Arena.h - Reusable bump allocator ----------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A chunked bump allocator for trivially-destructible objects on hot paths
+/// that would otherwise hammer the global heap with many small allocations:
+/// the interpreter's decoded-op buffers, per-function scratch arrays, and
+/// similar build-once/free-together data.
+///
+/// Allocation is a pointer bump; there is no per-object free. reset()
+/// recycles the arena for the next function: it keeps the largest chunk it
+/// ever grew (so steady-state reuse performs zero heap traffic) and returns
+/// the rest to the heap. Ownership rule: objects allocated from an arena are
+/// plain memory — they must not require destruction, and they die, all at
+/// once, at reset() or arena destruction (DESIGN.md §11, "arena ownership").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_SUPPORT_ARENA_H
+#define RAP_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace rap {
+
+class Arena {
+public:
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Raw allocation of \p Bytes with \p Align alignment. Never returns
+  /// nullptr (grows a new chunk on demand); Bytes == 0 yields an aligned,
+  /// dereference-unsafe pointer like operator new would.
+  void *allocate(size_t Bytes, size_t Align) {
+    uintptr_t P = reinterpret_cast<uintptr_t>(Cur);
+    uintptr_t Aligned = (P + (Align - 1)) & ~uintptr_t(Align - 1);
+    if (!Cur || Aligned + Bytes > reinterpret_cast<uintptr_t>(End)) {
+      grow(Bytes + Align);
+      P = reinterpret_cast<uintptr_t>(Cur);
+      Aligned = (P + (Align - 1)) & ~uintptr_t(Align - 1);
+    }
+    Cur = reinterpret_cast<char *>(Aligned + Bytes);
+    Used += Bytes;
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  /// Typed array allocation. The memory is uninitialized; the element type
+  /// must not need a destructor (nothing will ever run one).
+  template <typename T> T *alloc(size_t N = 1) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena objects are never destroyed");
+    return static_cast<T *>(allocate(N * sizeof(T), alignof(T)));
+  }
+
+  /// Copies [First, First + N) into arena storage and returns the copy.
+  template <typename T> T *copy(const T *First, size_t N) {
+    T *Out = alloc<T>(N);
+    for (size_t I = 0; I != N; ++I)
+      Out[I] = First[I];
+    return Out;
+  }
+
+  /// Recycles the arena: every pointer it handed out becomes invalid. The
+  /// largest chunk is kept so the common grow-to-steady-state-then-reuse
+  /// pattern stops touching the heap after the first few functions.
+  void reset() {
+    if (Chunks.empty()) {
+      Used = 0;
+      return;
+    }
+    size_t Largest = 0;
+    for (size_t I = 1; I != Chunks.size(); ++I)
+      if (Chunks[I].Size > Chunks[Largest].Size)
+        Largest = I;
+    if (Largest != 0)
+      std::swap(Chunks[0], Chunks[Largest]);
+    Chunks.resize(1);
+    Cur = Chunks[0].Mem.get();
+    End = Cur + Chunks[0].Size;
+    Used = 0;
+  }
+
+  /// Bytes handed out since construction or the last reset() (excludes
+  /// alignment padding); for telemetry and tests.
+  size_t bytesAllocated() const { return Used; }
+
+  /// Total chunk bytes currently held (allocated + reusable headroom).
+  size_t bytesReserved() const {
+    size_t N = 0;
+    for (const Chunk &C : Chunks)
+      N += C.Size;
+    return N;
+  }
+
+private:
+  struct Chunk {
+    std::unique_ptr<char[]> Mem;
+    size_t Size = 0;
+  };
+
+  void grow(size_t AtLeast) {
+    size_t Size = NextSize;
+    while (Size < AtLeast)
+      Size *= 2;
+    NextSize = Size * 2;
+    Chunk C;
+    C.Mem = std::make_unique<char[]>(Size);
+    C.Size = Size;
+    Cur = C.Mem.get();
+    End = Cur + Size;
+    Chunks.push_back(std::move(C));
+  }
+
+  std::vector<Chunk> Chunks;
+  char *Cur = nullptr;
+  char *End = nullptr;
+  size_t Used = 0;
+  size_t NextSize = 4096;
+};
+
+} // namespace rap
+
+#endif // RAP_SUPPORT_ARENA_H

@@ -7,7 +7,14 @@
 #include "ir/IlocProgram.h"
 #include "ir/Instr.h"
 #include "ir/RtValue.h"
+#include "support/Arena.h"
 #include "support/Diagnostics.h"
+#include "support/SmallVector.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "gtest/gtest.h"
 
@@ -115,6 +122,118 @@ TEST(IlocFunction, ParamRegsDefaultToIdentity) {
   F.setParamRegs({4, 0, 1});
   EXPECT_EQ(F.paramReg(0), 4u);
   EXPECT_EQ(F.paramReg(2), 1u);
+}
+
+TEST(Arena, AlignmentAndDistinctness) {
+  Arena A;
+  char *C = A.alloc<char>(3);
+  uint64_t *U = A.alloc<uint64_t>(2);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(U) % alignof(uint64_t), 0u);
+  U[0] = 1;
+  U[1] = 2;
+  C[0] = 'x';
+  EXPECT_EQ(U[0], 1u) << "allocations must not overlap";
+  EXPECT_EQ(A.bytesAllocated(), 3 + 2 * sizeof(uint64_t));
+}
+
+TEST(Arena, CopySurvivesSourceDeath) {
+  Arena A;
+  int *Copy;
+  {
+    std::vector<int> Src = {5, 6, 7, 8};
+    Copy = A.copy(Src.data(), Src.size());
+  }
+  EXPECT_EQ(Copy[0], 5);
+  EXPECT_EQ(Copy[3], 8);
+}
+
+TEST(Arena, GrowsAcrossChunksAndResetKeepsLargest) {
+  Arena A;
+  // Force several chunk growths well past the initial chunk size.
+  for (int I = 0; I != 8; ++I) {
+    char *P = A.alloc<char>(8192);
+    P[0] = static_cast<char>(I);
+    P[8191] = static_cast<char>(I);
+  }
+  EXPECT_EQ(A.bytesAllocated(), 8u * 8192);
+  size_t Reserved = A.bytesReserved();
+  EXPECT_GE(Reserved, A.bytesAllocated());
+
+  A.reset();
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+  EXPECT_LT(A.bytesReserved(), Reserved)
+      << "reset keeps only the largest chunk";
+  EXPECT_GT(A.bytesReserved(), 0u);
+
+  // Steady-state reuse: an allocation fitting the kept chunk must not grow.
+  size_t Kept = A.bytesReserved();
+  char *P = A.alloc<char>(Kept / 2);
+  P[0] = 1;
+  EXPECT_EQ(A.bytesReserved(), Kept) << "reuse must not touch the heap";
+}
+
+TEST(Arena, ZeroByteAllocationIsSafe) {
+  Arena A;
+  void *P = A.allocate(0, 8);
+  EXPECT_NE(P, nullptr);
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+}
+
+TEST(SmallVector, StaysInlineThenSpills) {
+  SmallVector<int, 2> V;
+  EXPECT_TRUE(V.empty());
+  EXPECT_EQ(V.capacity(), 2u);
+  V.push_back(10);
+  V.push_back(20);
+  EXPECT_EQ(V.capacity(), 2u) << "two elements fit inline";
+  V.push_back(30);
+  EXPECT_GT(V.capacity(), 2u) << "third element spills to the heap";
+  ASSERT_EQ(V.size(), 3u);
+  EXPECT_EQ(V[0], 10);
+  EXPECT_EQ(V[1], 20);
+  EXPECT_EQ(V[2], 30);
+  EXPECT_EQ(V.front(), 10);
+  EXPECT_EQ(V.back(), 30);
+}
+
+TEST(SmallVector, AssignCopyMoveEquality) {
+  SmallVector<int, 2> A = {1, 2, 3, 4};
+  SmallVector<int, 2> B(A);
+  EXPECT_EQ(A, B);
+  B.push_back(5);
+  EXPECT_NE(A, B);
+
+  SmallVector<int, 2> C;
+  C = A;
+  EXPECT_EQ(C, A);
+
+  std::vector<int> Std = {7, 8};
+  C = Std;
+  ASSERT_EQ(C.size(), 2u);
+  EXPECT_EQ(C[0], 7);
+
+  // Move steals the heap buffer and leaves the source empty and reusable.
+  SmallVector<int, 2> D(std::move(A));
+  ASSERT_EQ(D.size(), 4u);
+  EXPECT_EQ(D[3], 4);
+  EXPECT_TRUE(A.empty());
+  A.push_back(99);
+  EXPECT_EQ(A[0], 99);
+}
+
+TEST(SmallVector, IteratorsWorkWithStdAlgorithms) {
+  SmallVector<int, 4> V = {3, 1, 2};
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V[0], 1);
+  EXPECT_EQ(V[2], 3);
+  int Sum = 0;
+  for (int X : V)
+    Sum += X;
+  EXPECT_EQ(Sum, 6);
+  V.pop_back();
+  EXPECT_EQ(V.size(), 2u);
+  V.clear();
+  EXPECT_TRUE(V.empty());
 }
 
 TEST(Diagnostics, CollectsAndRenders) {
