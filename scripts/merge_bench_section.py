@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Merge one harness's rap-bench-v1 output into the committed BENCH_alloc.json.
+
+Usage: merge_bench_section.py BENCH_alloc.json SECTION new_section.json
+
+Idempotent and tolerant by design (the bench scripts run in any order, on
+fresh checkouts and on trees where only some harnesses have run):
+
+  * a missing/empty/corrupt BENCH_alloc.json is treated as a fresh document,
+  * a missing prior SECTION is simply created,
+  * re-running with the same input replaces the section in place,
+  * unrelated sections written by other harnesses are preserved verbatim.
+
+SECTION may be "." to merge the new document's top-level keys (the primary
+alloc_cost counters) instead of nesting under a named section — again
+preserving any existing named sections.
+"""
+import json
+import sys
+
+
+def load_json(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError):
+        return None
+
+
+def main():
+    if len(sys.argv) != 4:
+        sys.stderr.write(__doc__)
+        return 2
+    target_path, section, new_path = sys.argv[1], sys.argv[2], sys.argv[3]
+
+    new = load_json(new_path)
+    if new is None:
+        sys.stderr.write(f"merge_bench_section: cannot parse {new_path}\n")
+        return 1
+    if new.get("schema") != "rap-bench-v1" or not new.get("rows"):
+        sys.stderr.write(
+            f"merge_bench_section: {new_path} is not a rap-bench-v1 "
+            "document with rows\n")
+        return 1
+
+    target = load_json(target_path)
+    if not isinstance(target, dict):
+        target = {}  # missing or corrupt prior artifact: start fresh
+
+    if section == ".":
+        # Top-level merge: replace the primary document's own keys, keep
+        # every nested section some other harness contributed.
+        preserved = {k: v for k, v in target.items()
+                     if isinstance(v, dict) and v.get("schema") == "rap-bench-v1"}
+        target = dict(new)
+        target.update(preserved)
+    else:
+        target[section] = new
+
+    with open(target_path, "w") as f:
+        json.dump(target, f, indent=2)
+        f.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,177 @@
+#!/usr/bin/env bash
+# Smoke-tests the rapd compile server end to end and refreshes the committed
+# server-load benchmark section:
+#
+#   1. replays an editing-session request trace through rapd over stdio:
+#      cold compile, warm replays, a mutated function, a batch, stats/ping,
+#      deliberate bad-request and compile-error probes — asserting ZERO
+#      unexpected protocol errors, a nonzero cache-hit rate, and that every
+#      warm response's output_hash matches the cold compile of that source;
+#   2. replays a shorter trace over a unix-domain socket (the second
+#      transport) with the same assertions;
+#   3. runs bench/server_load (cold-vs-warm, 10% edit rate) and merges its
+#      rap-bench-v1 JSON into BENCH_alloc.json as the "server_load" section,
+#      asserting the acceptance bar: warm >= 2x cold functions/sec at a
+#      >= 80% hit rate.
+#
+# Usage: scripts/server_smoke.sh [build-dir]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+
+cmake -S "$REPO_ROOT" -B "$BUILD_DIR" >/dev/null
+cmake --build "$BUILD_DIR" --target rapd server_load -j "$(nproc)"
+
+RAPD="$BUILD_DIR/src/server/rapd"
+
+# --- 1. stdio trace replay ------------------------------------------------
+python3 - "$RAPD" <<'PYEOF'
+import json, subprocess, sys
+
+rapd = sys.argv[1]
+
+def fn(i, version):
+    return (f"int work{i}(int n) {{\n"
+            f"  int a = n + {version * 7 + i};\n"
+            f"  int b = a * 3 + {version};\n"
+            f"  int c = a - b;\n"
+            f"  for (int j = 0; j < n; j = j + 1) {{\n"
+            f"    a = a + b * j % 997;\n"
+            f"    b = b + c - j;\n"
+            f"    c = c + a % 613;\n"
+            f"  }}\n"
+            f"  return a + b + c;\n"
+            f"}}\n")
+
+def module(versions):
+    src = "".join(fn(i, v) for i, v in enumerate(versions))
+    calls = "".join(f"  acc = acc + work{i}(5);\n" for i in range(len(versions)))
+    return src + "int main() {\n  int acc = 0;\n" + calls + "  return acc;\n}\n"
+
+base = module([0, 0, 0, 0])
+edited = module([0, 1, 0, 0])  # one function mutated
+
+trace = [
+    {"id": 1, "op": "compile", "source": base,
+     "options": {"alloc": "rap", "k": 3, "run": True}},   # cold
+    {"id": 2, "op": "compile", "source": base,
+     "options": {"alloc": "rap", "k": 3, "run": True}},   # fully warm
+    {"id": 3, "op": "compile", "source": edited,
+     "options": {"alloc": "rap", "k": 3}},                # one miss
+    [{"id": 4, "op": "stats"}, {"id": 5, "op": "ping"}],  # batch
+    {"id": 6, "op": "compile", "source": "int main() { return }",
+     "options": {"alloc": "rap"}},                        # compile-error
+    {"not": "a request"},                                 # bad-request
+    {"id": 7, "op": "shutdown"},
+]
+payload = "".join(json.dumps(r) + "\n" for r in trace)
+
+proc = subprocess.run([rapd, "--shards=2"], input=payload,
+                      capture_output=True, text=True, timeout=300)
+assert proc.returncode == 0, f"rapd exit {proc.returncode}: {proc.stderr}"
+lines = [json.loads(l) for l in proc.stdout.splitlines() if l.strip()]
+
+banner = lines[0]
+assert banner.get("rapd") == "v1", f"missing hello banner: {banner}"
+by_id = {}
+for resp in lines[1:]:
+    for r in (resp if isinstance(resp, list) else [resp]):
+        by_id[r.get("id")] = r
+
+protocol_errors = [r for r in by_id.values()
+                   if not r["ok"] and r.get("id") not in (6, None)]
+assert not protocol_errors, f"unexpected protocol errors: {protocol_errors}"
+
+cold, warm, miss = by_id[1], by_id[2], by_id[3]
+assert cold["ok"] and cold["cache_misses"] == 5 and cold["cache_hits"] == 0
+assert cold["exec"]["ok"], f"cold exec failed: {cold['exec']}"
+assert warm["cache_hits"] == 5 and warm["cache_misses"] == 0, \
+    f"warm not fully cached: {warm}"
+assert warm["output_hash"] == cold["output_hash"], \
+    "warm response diverged from cold compile"
+assert warm["exec"] == cold["exec"], "warm execution diverged from cold"
+assert miss["cache_misses"] == 1 and miss["cache_hits"] == 4, \
+    f"edit should re-allocate exactly one function: {miss}"
+assert miss["output_hash"] != cold["output_hash"]
+
+stats = by_id[4]["stats"]
+assert stats["cache_hits"] >= 9 and stats["requests"] >= 3, stats
+assert by_id[5]["kind"] == "pong"
+assert by_id[6]["kind"] == "compile-error"
+assert by_id[None]["kind"] == "bad-request"
+assert by_id[7]["kind"] == "shutting-down"
+
+hit_rate = stats["cache_hits"] / (stats["cache_hits"] + stats["cache_misses"])
+print(f"stdio trace OK: {len(by_id)} responses, 0 protocol errors, "
+      f"hit rate {100 * hit_rate:.0f}%")
+PYEOF
+
+# --- 2. unix-domain socket transport --------------------------------------
+python3 - "$RAPD" <<'PYEOF'
+import json, os, socket, subprocess, sys, tempfile, time
+
+rapd = sys.argv[1]
+path = os.path.join(tempfile.mkdtemp(prefix="rapd_smoke_"), "rapd.sock")
+proc = subprocess.Popen([rapd, f"--socket={path}", "--shards=2", "--no-hello"],
+                        stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+try:
+    for _ in range(200):
+        if os.path.exists(path):
+            break
+        time.sleep(0.05)
+    else:
+        raise AssertionError("rapd socket never appeared")
+
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.connect(path)
+    io = sock.makefile("rw", encoding="utf-8")
+
+    src = ("int f(int n) {\n  int s = 0;\n"
+           "  for (int i = 0; i < n; i = i + 1) { s = s + i * i; }\n"
+           "  return s;\n}\n"
+           "int main() { return f(10); }\n")
+    def ask(req):
+        io.write(json.dumps(req) + "\n")
+        io.flush()
+        return json.loads(io.readline())
+
+    cold = ask({"id": 1, "op": "compile", "source": src,
+                "options": {"alloc": "rap", "k": 3}})
+    warm = ask({"id": 2, "op": "compile", "source": src,
+                "options": {"alloc": "rap", "k": 3}})
+    assert cold["ok"] and warm["ok"], (cold, warm)
+    assert warm["cache_hits"] == 2 and warm["cache_misses"] == 0, warm
+    assert warm["output_hash"] == cold["output_hash"]
+    bye = ask({"id": 3, "op": "shutdown"})
+    assert bye["kind"] == "shutting-down"
+    sock.close()
+    assert proc.wait(timeout=60) == 0, proc.returncode
+    print("socket trace OK: warm hash matches cold, clean shutdown")
+finally:
+    if proc.poll() is None:
+        proc.kill()
+    if os.path.exists(path):
+        os.unlink(path)
+PYEOF
+
+# --- 3. load bench -> BENCH_alloc.json "server_load" section ---------------
+"$BUILD_DIR/bench/server_load" --json --requests=100 --edit-rate=0.1 \
+  > "$REPO_ROOT/BENCH_server_tmp.json"
+python3 "$REPO_ROOT/scripts/merge_bench_section.py" \
+  "$REPO_ROOT/BENCH_alloc.json" server_load "$REPO_ROOT/BENCH_server_tmp.json"
+rm -f "$REPO_ROOT/BENCH_server_tmp.json"
+python3 - "$REPO_ROOT" <<'PYEOF'
+import json, sys
+doc = json.load(open(f"{sys.argv[1]}/BENCH_alloc.json"))["server_load"]
+warm = [r for r in doc["rows"] if r["mode"] == "warm"][0]
+assert warm["speedup_vs_cold"] >= 2.0, \
+    f"warm speedup {warm['speedup_vs_cold']:.2f}x below the 2x bar"
+assert warm["hit_rate_pct"] >= 80.0, \
+    f"hit rate {warm['hit_rate_pct']:.1f}% below the 80% bar"
+print(f"server load OK: {warm['speedup_vs_cold']:.2f}x functions/sec over "
+      f"cold at {warm['hit_rate_pct']:.1f}% hit rate "
+      f"(p50 {warm['p50_us']:.0f}us, p99 {warm['p99_us']:.0f}us)")
+PYEOF
+
+echo "server smoke OK; counters merged into $REPO_ROOT/BENCH_alloc.json"

@@ -83,6 +83,17 @@ json::Value rap::statsJson(const CompileResult &R, const ReportMeta &Meta) {
   Root["counters"] = R.Telemetry.countersJson();
   Root["timers"] = R.Telemetry.timersJson();
   Root["telemetry_slices"] = R.Telemetry.NumSlices;
+
+  // Compile-server counters (rapd only; rapcc documents stay unchanged).
+  if (Meta.Server.Enabled) {
+    json::Object S;
+    S["cache_hits"] = Meta.Server.CacheHits;
+    S["cache_misses"] = Meta.Server.CacheMisses;
+    S["cache_bytes"] = Meta.Server.CacheBytes;
+    S["queue_depth_max"] = Meta.Server.QueueDepthMax;
+    S["rejected_requests"] = Meta.Server.RejectedRequests;
+    Root["server"] = json::Value(std::move(S));
+  }
   return json::Value(std::move(Root));
 }
 
@@ -116,6 +127,18 @@ std::string rap::statsText(const CompileResult &R, const ReportMeta &Meta) {
                 "  time: graph-build=%.3fms liveness=%.3fms\n",
                 A.GraphBuildSeconds * 1e3, A.LivenessSeconds * 1e3);
   Out += Buf;
+  if (Meta.Server.Enabled) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "  server: cache hits=%llu misses=%llu bytes=%llu "
+                  "queue-depth-max=%llu rejected=%llu\n",
+                  static_cast<unsigned long long>(Meta.Server.CacheHits),
+                  static_cast<unsigned long long>(Meta.Server.CacheMisses),
+                  static_cast<unsigned long long>(Meta.Server.CacheBytes),
+                  static_cast<unsigned long long>(Meta.Server.QueueDepthMax),
+                  static_cast<unsigned long long>(
+                      Meta.Server.RejectedRequests));
+    Out += Buf;
+  }
   if (!R.Telemetry.Counters.empty()) {
     std::snprintf(Buf, sizeof(Buf),
                   "  telemetry: %llu function(s), %llu slice(s)\n",

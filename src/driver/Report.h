@@ -23,11 +23,24 @@
 
 namespace rap {
 
+/// Compile-server counters folded into rap-stats-v1 when a report comes
+/// from rapd (DESIGN.md §12). Enabled=false (the rapcc path) omits the
+/// section entirely, keeping pre-server documents byte-identical.
+struct ServerReportStats {
+  bool Enabled = false;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheBytes = 0; ///< resident cache estimate at report time
+  uint64_t QueueDepthMax = 0;
+  uint64_t RejectedRequests = 0;
+};
+
 /// Context the stats document records about the run that produced it.
 struct ReportMeta {
   std::string Allocator; ///< "rap", "gra", or "none"
   unsigned K = 0;
   unsigned Threads = 1;
+  ServerReportStats Server;
 };
 
 /// The "rap-stats-v1" document: run metadata, the aggregated AllocStats

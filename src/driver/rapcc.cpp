@@ -9,7 +9,7 @@
 /// optionally allocates registers, and either dumps an artifact or runs
 /// the program on the counting interpreter.
 ///
-///   rapcc file.mc [options]
+///   rapcc file.mc [options]      (file.mc may be '-' for stdin)
 ///     --alloc=none|gra|rap     allocator (default rap)
 ///     -k N                      physical registers (default 5)
 ///     --granularity=stmt|merged region granularity (default stmt)
@@ -66,6 +66,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 
@@ -76,7 +77,7 @@ namespace {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: rapcc <file.mc> [--alloc=none|gra|rap] [-k N]\n"
+      "usage: rapcc <file.mc | -> [--alloc=none|gra|rap] [-k N]\n"
       "             [--granularity=stmt|merged] [--copies=naive|direct]\n"
       "             [--no-movement] [--no-peephole] [--no-cleanup]\n"
       "             [--threads=N] [--verify] [--no-fallback]\n"
@@ -201,6 +202,8 @@ int main(int argc, char **argv) {
       }
     } else if (std::strcmp(Arg, "--run") == 0) {
       Dump.clear();
+    } else if (std::strcmp(Arg, "-") == 0) {
+      Path = Arg; // stdin
     } else if (Arg[0] == '-') {
       std::fprintf(stderr, "rapcc: unknown option '%s'\n", Arg);
       usage();
@@ -214,13 +217,19 @@ int main(int argc, char **argv) {
     return 2;
   }
 
-  std::ifstream In(Path);
-  if (!In) {
-    std::fprintf(stderr, "rapcc: cannot open '%s'\n", Path.c_str());
-    return 1;
-  }
+  // '-' reads the source from stdin — the shared input path with rapd,
+  // whose request trace scripts pipe sources instead of writing temp files.
   std::stringstream SS;
-  SS << In.rdbuf();
+  if (Path == "-") {
+    SS << std::cin.rdbuf();
+  } else {
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "rapcc: cannot open '%s'\n", Path.c_str());
+      return 1;
+    }
+    SS << In.rdbuf();
+  }
 
   // Telemetry costs nothing unless a stats or trace consumer asked for it;
   // attaching the registry turns the allocator's instrumentation on.

@@ -1,0 +1,172 @@
+//===- server/CompileService.cpp - Cached batched compilation ---------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/CompileService.h"
+
+#include "ir/Clone.h"
+#include "regalloc/SpillEverything.h"
+#include "support/Hash.h"
+
+using namespace rap;
+using namespace rap::server;
+
+uint64_t server::hashProgramOutput(const IlocProgram &Prog) {
+  Hasher H;
+  for (const auto &F : Prog.functions())
+    H.str(F->str());
+  return H.value();
+}
+
+CompileService::CompileService(const ServiceConfig &Config)
+    : Cache(Config.CacheBytes), Pool(Config.Shards) {}
+
+namespace {
+
+/// One function's fault-isolated allocation on a pool worker: the same
+/// snapshot + spill-everything degradation discipline as the rapcc driver,
+/// reimplemented here because the server reports through FunctionReport
+/// slots instead of ProgramAllocResult. Never throws.
+void allocateSlot(IlocProgram &Prog, unsigned I, AllocatorKind Kind,
+                  const AllocOptions &Options, FunctionReport &Report,
+                  AllocStats &Stats) {
+  IlocFunction *F = Prog.functions()[I].get();
+  std::unique_ptr<IlocFunction> Backup = cloneFunction(*F);
+  try {
+    Stats = Kind == AllocatorKind::Gra ? allocateGra(*F, Options)
+                                       : allocateRap(*F, Options);
+    Report.Status = AllocStatus::Allocated;
+    return;
+  } catch (const AllocError &E) {
+    Report.Error = E.what();
+  } catch (const std::exception &E) {
+    Report.Error = std::string("internal: ") + E.what();
+  }
+  Report.Status = AllocStatus::Fallback;
+  F = Prog.replaceFunction(I, std::move(Backup));
+  try {
+    Stats = allocateSpillEverything(*F, Options);
+  } catch (const std::exception &E) {
+    // The fallback only fails on API misuse; record it without crashing the
+    // serving loop (crash-free contract).
+    Report.Status = AllocStatus::Failed;
+    Report.Error += std::string("; fallback failed: ") + E.what();
+  }
+}
+
+} // namespace
+
+ServiceResult CompileService::compile(const std::string &Source,
+                                      const RequestOptions &Opts) {
+  Requests.fetch_add(1, std::memory_order_relaxed);
+  ServiceResult Res;
+
+  // Frontend + lowering, unallocated (AllocatorKind::None short-circuits
+  // the allocation driver). This path inherits the crash-free contract:
+  // hostile sources come back as diagnostics, never exceptions.
+  CompileOptions CO;
+  CO.Allocator = AllocatorKind::None;
+  CO.Granularity = Opts.Granularity;
+  CO.Copies = Opts.Copies;
+  CompileResult CR = compileMiniC(Source, CO);
+  if (!CR.ok()) {
+    Res.Errors = CR.Errors;
+    return Res;
+  }
+  Res.Prog = std::move(CR.Prog);
+  IlocProgram &Prog = *Res.Prog;
+  const unsigned N = static_cast<unsigned>(Prog.functions().size());
+  Res.Functions.resize(N);
+
+  AllocOptions AO;
+  AO.K = Opts.K;
+
+  // Phase 1 (inline): fingerprint every function and replay cache hits.
+  // Hits swap a clone of the stored allocated body into the program slot.
+  std::vector<AllocStats> SlotStats(N);
+  std::vector<unsigned> Misses;
+  if (Opts.Allocator != AllocatorKind::None) {
+    for (unsigned I = 0; I != N; ++I) {
+      IlocFunction *F = Prog.functions()[I].get();
+      FunctionReport &R = Res.Functions[I];
+      R.Name = F->name();
+      R.Fingerprint = fingerprintFunction(*F, Opts.Allocator, AO);
+      CachedAllocation Hit = Cache.lookup(R.Fingerprint);
+      if (Hit.Body) {
+        R.CacheHit = true;
+        R.Status = Hit.Outcome.Status;
+        R.Error = Hit.Outcome.Error;
+        SlotStats[I] = Hit.Outcome.Stats;
+        Prog.replaceFunction(I, std::move(Hit.Body));
+      } else {
+        Misses.push_back(I);
+      }
+    }
+
+    // Phase 2 (parallel): allocate the misses on the shard pool. One
+    // request's misses share an affinity hint so they land on one shard;
+    // idle shards steal them back when the batch is skewed. The calling
+    // thread is never a pool worker, so waiting here cannot deadlock.
+    size_t Hint = NextShardHint.fetch_add(1, std::memory_order_relaxed);
+    if (!Misses.empty()) {
+      TaskGroup Group;
+      Group.expect(Misses.size());
+      for (unsigned I : Misses)
+        Pool.submit(Hint, [&Prog, I, &Opts, AO, &Res, &SlotStats] {
+          allocateSlot(Prog, I, Opts.Allocator, AO, Res.Functions[I],
+                       SlotStats[I]);
+        }, &Group);
+      Group.wait();
+    }
+
+    // Phase 3 (inline, function order): insert the fresh allocations into
+    // the cache *after* the barrier so LRU order — and therefore eviction —
+    // is a function of the request sequence alone, not thread scheduling.
+    for (unsigned I : Misses) {
+      FunctionReport &R = Res.Functions[I];
+      if (R.Status == AllocStatus::Failed)
+        continue; // nothing replayable
+      AllocOutcome Out;
+      Out.Function = R.Name;
+      Out.Status = R.Status;
+      Out.Error = R.Error;
+      Out.Stats = SlotStats[I];
+      Cache.insert(R.Fingerprint, *Prog.functions()[I], Out);
+    }
+  } else {
+    for (unsigned I = 0; I != N; ++I)
+      Res.Functions[I].Name = Prog.functions()[I]->name();
+  }
+
+  for (unsigned I = 0; I != N; ++I) {
+    Res.Alloc.accumulate(SlotStats[I]);
+    if (Opts.Allocator != AllocatorKind::None) {
+      Res.CacheHits += Res.Functions[I].CacheHit;
+      Res.CacheMisses += !Res.Functions[I].CacheHit;
+    }
+  }
+  Res.OutputHash = hashProgramOutput(Prog);
+  Res.Ok = true;
+
+  if (Opts.Run) {
+    Interpreter Interp(Prog);
+    Res.Exec = Interp.run("main", Opts.Fuel);
+  }
+  return Res;
+}
+
+ServiceCounters CompileService::counters() const {
+  ServiceCounters C;
+  CacheCounters CC = Cache.counters();
+  C.Requests = Requests.load(std::memory_order_relaxed);
+  C.CacheHits = CC.Hits;
+  C.CacheMisses = CC.Misses;
+  C.FunctionsCompiled = CC.Hits + CC.Misses;
+  C.CacheBytes = CC.Bytes;
+  C.CacheEvictions = CC.Evictions;
+  C.QueueDepthMax = Pool.queueDepthMax();
+  C.TasksStolen = Pool.tasksStolen();
+  return C;
+}

@@ -1,0 +1,131 @@
+//===- server/CompileService.h - Cached batched compilation -----*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile server's engine, independent of any transport: lower a MiniC
+/// module, fingerprint each function's ILOC, replay cached allocations for
+/// hits, fan cache misses out over the work-stealing shard pool, and fold
+/// everything back in function order. rapd wraps this in the NDJSON
+/// protocol; the load bench and the cache-correctness tests call it
+/// directly.
+///
+/// Determinism contract (the acceptance bar): for a fixed request sequence
+/// and fixed cache budget, the compiled output of every request — function
+/// text, per-function outcomes, hit/miss classification — is byte-identical
+/// at any shard count, and a warm response is byte-identical to what a cold
+/// compile of the same source would produce. The pieces that make it hold:
+///
+///   * allocation per function is deterministic and independent,
+///   * hits replay a clone whose linearized text equals the cold result,
+///   * misses allocate on the pool but land in per-function slots,
+///   * cache insertion happens after the barrier, in function order, so
+///     LRU/eviction state evolves identically at any shard count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_SERVER_COMPILESERVICE_H
+#define RAP_SERVER_COMPILESERVICE_H
+
+#include "driver/Pipeline.h"
+#include "server/AllocCache.h"
+#include "server/ShardPool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rap {
+namespace server {
+
+/// Service-wide configuration (one per rapd process).
+struct ServiceConfig {
+  unsigned Shards = 4;                  ///< work-stealing workers
+  size_t CacheBytes = 256u << 20;       ///< 0 = caching off (cold baseline)
+};
+
+/// Per-request compile options: the protocol's "options" object.
+struct RequestOptions {
+  AllocatorKind Allocator = AllocatorKind::Rap;
+  unsigned K = 5;
+  RegionGranularity Granularity = RegionGranularity::PerStatement;
+  CopyStyle Copies = CopyStyle::Naive;
+  bool Run = false;              ///< execute main() and report counters
+  uint64_t Fuel = 500'000'000;   ///< interpreter budget when Run
+};
+
+/// One function's slice of a response.
+struct FunctionReport {
+  std::string Name;
+  uint64_t Fingerprint = 0;
+  bool CacheHit = false;
+  AllocStatus Status = AllocStatus::Allocated;
+  std::string Error; ///< degradation detail when Status == Fallback
+};
+
+/// One compiled request.
+struct ServiceResult {
+  bool Ok = false;
+  std::string Errors; ///< compile diagnostics when !Ok
+  std::unique_ptr<IlocProgram> Prog;
+  std::vector<FunctionReport> Functions;
+  AllocStats Alloc;          ///< ledger aggregated in function order
+  unsigned CacheHits = 0;
+  unsigned CacheMisses = 0;
+  /// Stable hash over every function's allocated text, in program order —
+  /// the warm-vs-cold byte-identity witness the protocol transmits.
+  uint64_t OutputHash = 0;
+  /// Filled when RequestOptions::Run: the interpreted execution.
+  RunResult Exec;
+
+  unsigned degraded() const {
+    unsigned N = 0;
+    for (const FunctionReport &F : Functions)
+      N += F.Status != AllocStatus::Allocated;
+    return N;
+  }
+};
+
+/// Aggregate counters the server exports (rap-stats-v1 "server" section).
+struct ServiceCounters {
+  uint64_t Requests = 0;
+  uint64_t FunctionsCompiled = 0; ///< hits + misses
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheBytes = 0;
+  uint64_t CacheEvictions = 0;
+  uint64_t QueueDepthMax = 0;
+  uint64_t TasksStolen = 0;
+};
+
+class CompileService {
+public:
+  explicit CompileService(const ServiceConfig &Config);
+
+  /// Compiles one request. Thread-safe: concurrent callers share the cache
+  /// and the pool; each gets its own program and slots.
+  ServiceResult compile(const std::string &Source, const RequestOptions &Opts);
+
+  ServiceCounters counters() const;
+  unsigned shards() const { return Pool.shards(); }
+  size_t cacheBudgetBytes() const { return Cache.budgetBytes(); }
+
+private:
+  AllocCache Cache;
+  ShardPool Pool;
+  std::atomic<uint64_t> Requests{0};
+  std::atomic<uint64_t> NextShardHint{0};
+};
+
+/// Stable hash of a whole allocated program (function texts in order) —
+/// shared by the service and the tests that recompute it cold.
+uint64_t hashProgramOutput(const IlocProgram &Prog);
+
+} // namespace server
+} // namespace rap
+
+#endif // RAP_SERVER_COMPILESERVICE_H

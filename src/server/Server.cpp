@@ -1,0 +1,239 @@
+//===- server/Server.cpp - rapd serving loops -------------------------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RAP_HAVE_UNIX_SOCKETS 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#else
+#define RAP_HAVE_UNIX_SOCKETS 0
+#endif
+
+using namespace rap;
+using namespace rap::server;
+
+Server::Server(const ServerConfig &Config)
+    : Config(Config), Service(Config.Service) {}
+
+AllocStats Server::totalAllocStats() const {
+  std::lock_guard<std::mutex> Lock(StatsM);
+  return TotalAlloc;
+}
+
+json::Value Server::dispatch(const json::Value &Parsed) {
+  Request Req;
+  std::string Error;
+  if (!parseRequest(Parsed, Req, Error))
+    return errorResponse(Req, "bad-request", Error);
+  switch (Req.Op) {
+  case RequestOp::Ping:
+    return ackResponse(Req, "pong");
+  case RequestOp::Shutdown:
+    Shutdown.store(true, std::memory_order_release);
+    return ackResponse(Req, "shutting-down");
+  case RequestOp::Stats:
+    return statsResponse(Req, Service.counters(),
+                         Rejected.load(std::memory_order_relaxed));
+  case RequestOp::Compile: {
+    ServiceResult Res = Service.compile(Req.Source, Req.Options);
+    if (Res.Ok) {
+      std::lock_guard<std::mutex> Lock(StatsM);
+      TotalAlloc.accumulate(Res.Alloc);
+    }
+    return compileResponse(Req, Res);
+  }
+  }
+  return errorResponse(Req, "bad-request", "unreachable");
+}
+
+std::string Server::handleLine(const std::string &Line) {
+  // Admission control happens on raw bytes, before any parsing: a flood of
+  // oversized lines costs the server one size check each, nothing more.
+  size_t Charge = Line.size();
+  size_t Current = InflightBytes.fetch_add(Charge, std::memory_order_acq_rel);
+  if (Current + Charge > Config.MaxInflightBytes) {
+    InflightBytes.fetch_sub(Charge, std::memory_order_acq_rel);
+    Rejected.fetch_add(1, std::memory_order_relaxed);
+    Request Anon;
+    return overloadedResponse(Anon, Config.RetryAfterMs).str();
+  }
+
+  std::string Out;
+  json::Value Parsed;
+  std::string Error;
+  if (!json::parse(Line, Parsed, &Error)) {
+    Request Anon;
+    Out = errorResponse(Anon, "bad-request", "unparseable JSON: " + Error)
+              .str();
+  } else if (Parsed.isArray()) {
+    // Batch: one admission unit, responses in request order.
+    json::Array Responses;
+    for (const json::Value &Item : Parsed.asArray())
+      Responses.push_back(dispatch(Item));
+    Out = json::Value(std::move(Responses)).str();
+  } else {
+    Out = dispatch(Parsed).str();
+  }
+  InflightBytes.fetch_sub(Charge, std::memory_order_acq_rel);
+  return Out;
+}
+
+int Server::serveStdio(std::istream &In, std::ostream &Out) {
+  if (Config.Hello)
+    Out << helloBanner(Service.shards(), Service.cacheBudgetBytes(),
+                       Config.MaxInflightBytes)
+               .str()
+        << "\n"
+        << std::flush;
+  std::string Line;
+  while (!shutdownRequested() && std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    Out << handleLine(Line) << "\n" << std::flush;
+  }
+  return Out.good() ? 0 : 1;
+}
+
+#if RAP_HAVE_UNIX_SOCKETS
+
+namespace {
+
+/// Reads newline-delimited lines from \p Fd (no stdio buffering games:
+/// one connection = one reader thread = one private buffer).
+class LineReader {
+public:
+  explicit LineReader(int Fd) : Fd(Fd) {}
+
+  bool next(std::string &Line) {
+    Line.clear();
+    while (true) {
+      size_t NL = Buf.find('\n');
+      if (NL != std::string::npos) {
+        Line = Buf.substr(0, NL);
+        Buf.erase(0, NL + 1);
+        return true;
+      }
+      char Chunk[4096];
+      ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+      if (N <= 0) {
+        if (Buf.empty())
+          return false;
+        Line.swap(Buf); // final unterminated line
+        return true;
+      }
+      Buf.append(Chunk, static_cast<size_t>(N));
+    }
+  }
+
+private:
+  int Fd;
+  std::string Buf;
+};
+
+bool writeAll(int Fd, const std::string &Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::write(Fd, Data.data() + Off, Data.size() - Off);
+    if (N <= 0)
+      return false;
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+int Server::serveSocket(const std::string &Path) {
+  int Listen = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Listen < 0) {
+    std::perror("rapd: socket");
+    return 1;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "rapd: socket path too long: %s\n", Path.c_str());
+    ::close(Listen);
+    return 1;
+  }
+  std::snprintf(Addr.sun_path, sizeof(Addr.sun_path), "%s", Path.c_str());
+  ::unlink(Path.c_str()); // stale socket from a previous run
+  if (::bind(Listen, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(Listen, 64) < 0) {
+    std::perror("rapd: bind/listen");
+    ::close(Listen);
+    return 1;
+  }
+
+  std::vector<std::thread> Connections;
+  while (!shutdownRequested()) {
+    int Conn = ::accept(Listen, nullptr, nullptr);
+    if (Conn < 0) {
+      if (shutdownRequested())
+        break;
+      continue; // EINTR and friends: keep serving
+    }
+    Connections.emplace_back([this, Conn, Path] {
+      if (Config.Hello)
+        writeAll(Conn, helloBanner(Service.shards(),
+                                   Service.cacheBudgetBytes(),
+                                   Config.MaxInflightBytes)
+                               .str() +
+                           "\n");
+      LineReader Reader(Conn);
+      std::string Line;
+      while (!shutdownRequested() && Reader.next(Line)) {
+        if (Line.empty())
+          continue;
+        if (!writeAll(Conn, handleLine(Line) + "\n"))
+          break;
+      }
+      ::close(Conn);
+      // A shutdown op stops the accept loop, which is blocked in accept():
+      // dial ourselves once to unblock it promptly. (Cheap and portable;
+      // avoids poll/timeout plumbing.)
+      if (shutdownRequested()) {
+        int Poke = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (Poke >= 0) {
+          sockaddr_un A{};
+          A.sun_family = AF_UNIX;
+          std::snprintf(A.sun_path, sizeof(A.sun_path), "%s", Path.c_str());
+          ::connect(Poke, reinterpret_cast<sockaddr *>(&A), sizeof(A));
+          ::close(Poke);
+        }
+      }
+    });
+    if (shutdownRequested())
+      break;
+  }
+  ::close(Listen);
+  ::unlink(Path.c_str());
+  for (std::thread &T : Connections)
+    T.join();
+  return 0;
+}
+
+#else // !RAP_HAVE_UNIX_SOCKETS
+
+int Server::serveSocket(const std::string &Path) {
+  std::fprintf(stderr,
+               "rapd: unix-domain sockets unsupported on this platform "
+               "(asked for %s); use stdio mode\n",
+               Path.c_str());
+  return 1;
+}
+
+#endif

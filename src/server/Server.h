@@ -1,0 +1,98 @@
+//===- server/Server.h - rapd serving loops ---------------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport layer over CompileService + Protocol: a line-oriented
+/// serving core (handleLine) plus two front ends — stdin/stdout NDJSON and
+/// a Unix-domain stream socket with one serving thread per connection.
+/// Both front ends share the service, the cache, the shard pool, and the
+/// admission control:
+///
+///   * Backpressure. Admission charges each request line's bytes against
+///     MaxInflightBytes before parsing; over budget, the line is answered
+///     with kind "overloaded" + retry_after_ms and never reaches the
+///     compiler. The charge is released when the response is written.
+///     Bounded memory is part of the crash-free contract — a flood of
+///     megabyte sources degrades to rejections, not OOM.
+///   * Batches. A line carrying a JSON array is served as one admission
+///     unit: responses come back as an array in request order.
+///
+/// Determinism: responses embed no timestamps or thread ids, so a request
+/// trace replayed against any shard count yields byte-identical response
+/// lines (the server_smoke script and ctest both assert this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_SERVER_SERVER_H
+#define RAP_SERVER_SERVER_H
+
+#include "server/CompileService.h"
+#include "server/Protocol.h"
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+namespace rap {
+namespace server {
+
+struct ServerConfig {
+  ServiceConfig Service;
+  /// Admission budget: total request bytes being parsed/compiled at once.
+  size_t MaxInflightBytes = 64u << 20;
+  /// The retry hint sent with "overloaded" rejections.
+  unsigned RetryAfterMs = 50;
+  /// Print the {"rapd":"v1",...} banner before serving (both transports).
+  bool Hello = true;
+};
+
+class Server {
+public:
+  explicit Server(const ServerConfig &Config);
+
+  /// Serves NDJSON over \p In/\p Out until EOF or a shutdown op.
+  /// Returns the process exit code (0 clean, 1 transport failure).
+  int serveStdio(std::istream &In, std::ostream &Out);
+
+  /// Binds \p Path (unlinking a stale socket first) and serves until a
+  /// shutdown op arrives on any connection. One thread per connection.
+  int serveSocket(const std::string &Path);
+
+  /// One request line -> one response line (no trailing newline). Handles
+  /// admission, batch splitting, parsing, and dispatch. Thread-safe.
+  std::string handleLine(const std::string &Line);
+
+  bool shutdownRequested() const {
+    return Shutdown.load(std::memory_order_acquire);
+  }
+
+  CompileService &service() { return Service; }
+  uint64_t rejectedRequests() const {
+    return Rejected.load(std::memory_order_relaxed);
+  }
+  /// Allocation ledger aggregated over every request served (for the final
+  /// rap-stats-v1 report).
+  AllocStats totalAllocStats() const;
+  const ServerConfig &config() const { return Config; }
+
+private:
+  json::Value dispatch(const json::Value &Parsed);
+
+  ServerConfig Config;
+  CompileService Service;
+  std::atomic<uint64_t> Rejected{0};
+  std::atomic<size_t> InflightBytes{0};
+  std::atomic<bool> Shutdown{false};
+  mutable std::mutex StatsM;
+  AllocStats TotalAlloc;
+};
+
+} // namespace server
+} // namespace rap
+
+#endif // RAP_SERVER_SERVER_H

@@ -1,0 +1,137 @@
+//===- server/ShardPool.cpp - Work-stealing allocation shards ---------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/ShardPool.h"
+
+#include <chrono>
+
+using namespace rap;
+using namespace rap::server;
+
+ShardPool::ShardPool(unsigned NumShards) {
+  if (NumShards == 0)
+    NumShards = 1;
+  Shards.reserve(NumShards);
+  for (unsigned I = 0; I != NumShards; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+  Workers.reserve(NumShards);
+  for (unsigned I = 0; I != NumShards; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ShardPool::~ShardPool() {
+  {
+    std::lock_guard<std::mutex> Lock(SleepM);
+    Stopping = true;
+  }
+  SleepCV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ShardPool::submit(size_t Hint, Task T, TaskGroup *Group) {
+  Shard &S = *Shards[Hint % Shards.size()];
+  {
+    std::lock_guard<std::mutex> Lock(S.M);
+    S.Q.emplace_back(std::move(T), Group);
+    if (S.Q.size() > S.DepthMax)
+      S.DepthMax = S.Q.size();
+  }
+  SleepCV.notify_one();
+}
+
+bool ShardPool::takeOwn(unsigned Self, std::pair<Task, TaskGroup *> &Out) {
+  Shard &S = *Shards[Self];
+  std::lock_guard<std::mutex> Lock(S.M);
+  if (S.Q.empty())
+    return false;
+  Out = std::move(S.Q.front()); // owner drains FIFO
+  S.Q.pop_front();
+  return true;
+}
+
+bool ShardPool::stealFrom(unsigned Victim, std::pair<Task, TaskGroup *> &Out) {
+  Shard &S = *Shards[Victim];
+  std::lock_guard<std::mutex> Lock(S.M);
+  if (S.Q.empty())
+    return false;
+  Out = std::move(S.Q.back()); // thieves take the opposite end
+  S.Q.pop_back();
+  return true;
+}
+
+void ShardPool::workerLoop(unsigned Self) {
+  const unsigned N = static_cast<unsigned>(Shards.size());
+  std::pair<Task, TaskGroup *> Item;
+  while (true) {
+    bool Got = takeOwn(Self, Item);
+    bool Stole = false;
+    if (!Got) {
+      // Scan siblings round-robin starting after ourselves so thieves
+      // spread over victims instead of mobbing shard 0.
+      for (unsigned D = 1; D != N && !Got; ++D) {
+        Got = stealFrom((Self + D) % N, Item);
+        Stole = Got;
+      }
+    }
+    if (Got) {
+      try {
+        Item.first();
+      } catch (...) {
+        // Tasks own their failures (the service catches per function); a
+        // leak here must not take down the worker or hang the barrier.
+      }
+      if (Item.second)
+        Item.second->done();
+      Item.first = nullptr;
+      {
+        std::lock_guard<std::mutex> Lock(StatsM);
+        ++Run;
+        Stolen += Stole;
+      }
+      continue;
+    }
+    // Nothing anywhere: park until a submit or shutdown. Re-check the
+    // deques under the sleep lock via predicate re-poll (a submit between
+    // our scan and the wait would otherwise be missed — notify_one with no
+    // waiter is lost, so the predicate must look at queue state).
+    std::unique_lock<std::mutex> Lock(SleepM);
+    if (Stopping)
+      return;
+    SleepCV.wait_for(Lock, std::chrono::milliseconds(10), [&] {
+      if (Stopping)
+        return true;
+      for (const auto &S : Shards) {
+        std::lock_guard<std::mutex> QL(S->M);
+        if (!S->Q.empty())
+          return true;
+      }
+      return false;
+    });
+    if (Stopping)
+      return;
+  }
+}
+
+uint64_t ShardPool::queueDepthMax() const {
+  uint64_t Max = 0;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->M);
+    if (S->DepthMax > Max)
+      Max = S->DepthMax;
+  }
+  return Max;
+}
+
+uint64_t ShardPool::tasksStolen() const {
+  std::lock_guard<std::mutex> Lock(StatsM);
+  return Stolen;
+}
+
+uint64_t ShardPool::tasksRun() const {
+  std::lock_guard<std::mutex> Lock(StatsM);
+  return Run;
+}

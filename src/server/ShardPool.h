@@ -1,0 +1,124 @@
+//===- server/ShardPool.h - Work-stealing allocation shards -----*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile server's execution substrate: N shards, each a worker thread
+/// with its own task deque. Producers place tasks on a shard chosen by an
+/// affinity hint (requests keep their functions together for locality);
+/// a worker drains its own deque FIFO and, when empty, steals from the
+/// *back* of a sibling's deque — the classic split that keeps owners and
+/// thieves off the same end. Stealing is what keeps a batch with skewed
+/// shard assignment (one huge request, many idle shards) at full
+/// utilization.
+///
+/// Determinism: the pool schedules, it does not order results. Callers
+/// write each task's output into a pre-assigned slot (function index,
+/// request index) and fold slots in index order after waiting — the same
+/// discipline allocateProgramChecked established — so any interleaving
+/// produces identical output. TaskGroup provides the wait barrier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_SERVER_SHARDPOOL_H
+#define RAP_SERVER_SHARDPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace rap {
+namespace server {
+
+/// Countdown latch for one batch of pool tasks: the submitter registers
+/// each task, workers signal completion, wait() blocks until all are done.
+/// Submitting threads are never pool workers (the service orchestrates from
+/// the connection/bench thread), so waiting cannot deadlock the pool.
+class TaskGroup {
+public:
+  void expect(size_t N = 1) {
+    std::lock_guard<std::mutex> Lock(M);
+    Pending += N;
+  }
+  void done() {
+    std::lock_guard<std::mutex> Lock(M);
+    if (--Pending == 0)
+      CV.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> Lock(M);
+    CV.wait(Lock, [&] { return Pending == 0; });
+  }
+
+private:
+  std::mutex M;
+  std::condition_variable CV;
+  size_t Pending = 0;
+};
+
+class ShardPool {
+public:
+  using Task = std::function<void()>;
+
+  /// Spawns \p NumShards workers (at least 1). Shard count is the server's
+  /// --shards knob; the deterministic-output contract holds at any value.
+  explicit ShardPool(unsigned NumShards);
+  ~ShardPool();
+
+  ShardPool(const ShardPool &) = delete;
+  ShardPool &operator=(const ShardPool &) = delete;
+
+  /// Enqueues \p T on shard `Hint % shards()` and wakes a worker. When
+  /// \p Group is given it must have been expect()ed already; the pool calls
+  /// done() after the task runs (even if it throws — tasks are expected to
+  /// contain their own failures, but a throw must not hang the barrier).
+  void submit(size_t Hint, Task T, TaskGroup *Group = nullptr);
+
+  unsigned shards() const { return static_cast<unsigned>(Shards.size()); }
+
+  /// High-water mark of any single shard's queue depth (telemetry).
+  uint64_t queueDepthMax() const;
+  /// Tasks executed by a worker that did not own their shard (telemetry;
+  /// proves stealing actually happens under skewed load).
+  uint64_t tasksStolen() const;
+  uint64_t tasksRun() const;
+
+private:
+  struct Shard {
+    std::mutex M;
+    std::deque<std::pair<Task, TaskGroup *>> Q;
+    uint64_t DepthMax = 0;
+  };
+
+  void workerLoop(unsigned Self);
+  bool takeOwn(unsigned Self, std::pair<Task, TaskGroup *> &Out);
+  bool stealFrom(unsigned Victim, std::pair<Task, TaskGroup *> &Out);
+
+  std::vector<std::unique_ptr<Shard>> Shards;
+  std::vector<std::thread> Workers;
+
+  // One pool-wide sleep channel: workers park here when every deque is
+  // empty. Simpler than per-shard wakeups and plenty for the server's
+  // task granularity (one task = one function allocation).
+  std::mutex SleepM;
+  std::condition_variable SleepCV;
+  bool Stopping = false;
+
+  mutable std::mutex StatsM;
+  uint64_t Stolen = 0;
+  uint64_t Run = 0;
+};
+
+} // namespace server
+} // namespace rap
+
+#endif // RAP_SERVER_SHARDPOOL_H

@@ -1,0 +1,151 @@
+//===- server/rapd.cpp - Persistent compile server driver -------------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// rapd: the persistent compile service (DESIGN.md §12). Speaks the rapd-v1
+/// newline-delimited JSON protocol on stdin/stdout (default) or a
+/// Unix-domain socket, memoizes per-function allocations in a content-hash
+/// cache, and fans cache misses out over a work-stealing shard pool.
+///
+///   rapd [options]
+///     --socket=PATH           serve a unix-domain stream socket instead of
+///                             stdin/stdout (one thread per connection)
+///     --shards=N              work-stealing allocation workers (default 4)
+///     --cache-bytes=N         allocation-cache budget in bytes (default
+///                             256MiB; 0 disables caching — the cold path)
+///     --max-inflight-bytes=N  admission budget: reject once this many
+///                             request bytes are in flight (default 64MiB)
+///     --retry-after-ms=N      hint sent with "overloaded" rejections
+///                             (default 50)
+///     --no-hello              skip the {"rapd":"v1",...} startup banner
+///     --stats[=text|json]     after serving ends, print a rap-stats-v1
+///                             document with the aggregated allocation
+///                             ledger and the "server" counter section
+///                             (text -> stderr, json -> stdout)
+///
+/// Exit codes: 0 clean shutdown (EOF or "shutdown" op), 1 transport/I-O
+/// failure, 2 usage error. Compile errors never change the exit code —
+/// they are responses, not failures of the server.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Report.h"
+#include "server/Server.h"
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+using namespace rap;
+using namespace rap::server;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: rapd [--socket=PATH] [--shards=N] [--cache-bytes=N]\n"
+      "            [--max-inflight-bytes=N] [--retry-after-ms=N]\n"
+      "            [--no-hello] [--stats[=text|json]]\n"
+      "exit codes: 0 clean shutdown, 1 transport failure, 2 usage\n");
+}
+
+bool parseSize(const char *S, size_t &Out) {
+  char *End = nullptr;
+  long long V = std::strtoll(S, &End, 10);
+  if (End == S || *End != '\0' || V < 0)
+    return false;
+  Out = static_cast<size_t>(V);
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ServerConfig Config;
+  std::string SocketPath;
+  std::string StatsMode;
+
+  for (int I = 1; I != argc; ++I) {
+    const char *Arg = argv[I];
+    if (std::strncmp(Arg, "--socket=", 9) == 0) {
+      SocketPath = Arg + 9;
+      if (SocketPath.empty()) {
+        std::fprintf(stderr, "rapd: --socket needs a path\n");
+        return 2;
+      }
+    } else if (std::strncmp(Arg, "--shards=", 9) == 0) {
+      size_t N = 0;
+      if (!parseSize(Arg + 9, N) || N == 0) {
+        std::fprintf(stderr, "rapd: --shards needs a positive count\n");
+        return 2;
+      }
+      Config.Service.Shards = static_cast<unsigned>(N);
+    } else if (std::strncmp(Arg, "--cache-bytes=", 14) == 0) {
+      if (!parseSize(Arg + 14, Config.Service.CacheBytes)) {
+        std::fprintf(stderr, "rapd: bad --cache-bytes value\n");
+        return 2;
+      }
+    } else if (std::strncmp(Arg, "--max-inflight-bytes=", 21) == 0) {
+      if (!parseSize(Arg + 21, Config.MaxInflightBytes) ||
+          Config.MaxInflightBytes == 0) {
+        std::fprintf(stderr, "rapd: bad --max-inflight-bytes value\n");
+        return 2;
+      }
+    } else if (std::strncmp(Arg, "--retry-after-ms=", 17) == 0) {
+      size_t N = 0;
+      if (!parseSize(Arg + 17, N) || N == 0) {
+        std::fprintf(stderr, "rapd: bad --retry-after-ms value\n");
+        return 2;
+      }
+      Config.RetryAfterMs = static_cast<unsigned>(N);
+    } else if (std::strcmp(Arg, "--no-hello") == 0) {
+      Config.Hello = false;
+    } else if (std::strcmp(Arg, "--stats") == 0) {
+      StatsMode = "text";
+    } else if (std::strncmp(Arg, "--stats=", 8) == 0) {
+      StatsMode = Arg + 8;
+      if (StatsMode != "text" && StatsMode != "json") {
+        std::fprintf(stderr, "rapd: unknown stats mode '%s'\n",
+                     StatsMode.c_str());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "rapd: unknown option '%s'\n", Arg);
+      usage();
+      return 2;
+    }
+  }
+
+  Server S(Config);
+  int Code = SocketPath.empty() ? S.serveStdio(std::cin, std::cout)
+                                : S.serveSocket(SocketPath);
+
+  if (!StatsMode.empty()) {
+    // The final report: the rap-stats-v1 document over everything served.
+    // Options vary per request, so the allocator/k fields record the
+    // server's defaults; the ledger and server counters are aggregates.
+    CompileResult Summary;
+    Summary.Alloc = S.totalAllocStats();
+    ServiceCounters C = S.service().counters();
+    ReportMeta Meta;
+    Meta.Allocator = "rap";
+    Meta.K = 5;
+    Meta.Threads = S.service().shards();
+    Meta.Server.Enabled = true;
+    Meta.Server.CacheHits = C.CacheHits;
+    Meta.Server.CacheMisses = C.CacheMisses;
+    Meta.Server.CacheBytes = C.CacheBytes;
+    Meta.Server.QueueDepthMax = C.QueueDepthMax;
+    Meta.Server.RejectedRequests = S.rejectedRequests();
+    if (StatsMode == "json")
+      std::printf("%s\n", statsJson(Summary, Meta).str(2).c_str());
+    else
+      std::fprintf(stderr, "%s", statsText(Summary, Meta).c_str());
+  }
+  return Code;
+}

@@ -1,0 +1,111 @@
+//===- support/BoundedQueue.h - Bounded MPMC queue --------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small bounded multi-producer/multi-consumer queue for the compile
+/// server. Two admission disciplines:
+///
+///   * tryPush — the backpressure path: a full queue rejects immediately
+///     (the caller turns the rejection into an "overloaded, retry-after"
+///     protocol response instead of buffering without bound).
+///   * push — the cooperative path used inside the process where blocking
+///     is acceptable (bench harnesses feeding a known-finite stream).
+///
+/// close() wakes every waiter; pop() then drains what remains and returns
+/// false once the queue is both closed and empty. Depth is tracked with a
+/// high-water mark so the server can export QueueDepthMax telemetry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_SUPPORT_BOUNDEDQUEUE_H
+#define RAP_SUPPORT_BOUNDEDQUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace rap {
+
+template <typename T> class BoundedQueue {
+public:
+  explicit BoundedQueue(size_t Capacity) : Capacity(Capacity ? Capacity : 1) {}
+
+  /// Non-blocking admission: false when the queue is full or closed.
+  bool tryPush(T Item) {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      if (Closed || Q.size() >= Capacity)
+        return false;
+      Q.push_back(std::move(Item));
+      if (Q.size() > DepthMax)
+        DepthMax = Q.size();
+    }
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Blocking admission: waits for space; false if the queue closed first.
+  bool push(T Item) {
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      NotFull.wait(Lock, [&] { return Closed || Q.size() < Capacity; });
+      if (Closed)
+        return false;
+      Q.push_back(std::move(Item));
+      if (Q.size() > DepthMax)
+        DepthMax = Q.size();
+    }
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives or the queue is closed *and* drained.
+  bool pop(T &Out) {
+    std::unique_lock<std::mutex> Lock(M);
+    NotEmpty.wait(Lock, [&] { return Closed || !Q.empty(); });
+    if (Q.empty())
+      return false; // closed and drained
+    Out = std::move(Q.front());
+    Q.pop_front();
+    Lock.unlock();
+    NotFull.notify_one();
+    return true;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Closed = true;
+    }
+    NotEmpty.notify_all();
+    NotFull.notify_all();
+  }
+
+  size_t depth() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Q.size();
+  }
+  /// Largest depth ever observed (monotone; survives drains).
+  size_t depthMax() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return DepthMax;
+  }
+  size_t capacity() const { return Capacity; }
+
+private:
+  const size_t Capacity;
+  mutable std::mutex M;
+  std::condition_variable NotEmpty, NotFull;
+  std::deque<T> Q;
+  size_t DepthMax = 0;
+  bool Closed = false;
+};
+
+} // namespace rap
+
+#endif // RAP_SUPPORT_BOUNDEDQUEUE_H

@@ -207,6 +207,46 @@ TEST(StatsSchema, TextReportMentionsTelemetry) {
   EXPECT_NE(Text.find("rap.graph_builds"), std::string::npos);
 }
 
+TEST(StatsSchema, ServerSectionOnlyWhenServing) {
+  CompileOptions Options;
+  Options.Allocator = AllocatorKind::Rap;
+  Options.Alloc.K = 3;
+  CompileResult CR = compileMiniC(PressureSource, Options);
+  ASSERT_TRUE(CR.ok()) << CR.Errors;
+
+  // rapcc documents (Server.Enabled false) must not grow a "server" key —
+  // existing consumers see byte-identical output.
+  ReportMeta Meta;
+  Meta.Allocator = "rap";
+  Meta.K = 3;
+  json::Value Plain;
+  std::string Error;
+  ASSERT_TRUE(json::parse(statsJson(CR, Meta).str(2), Plain, &Error)) << Error;
+  EXPECT_FALSE(Plain.has("server"));
+  EXPECT_EQ(statsText(CR, Meta).find("server:"), std::string::npos);
+
+  // rapd documents carry the five serving counters, all non-negative ints.
+  Meta.Server.Enabled = true;
+  Meta.Server.CacheHits = 12;
+  Meta.Server.CacheMisses = 3;
+  Meta.Server.CacheBytes = 4096;
+  Meta.Server.QueueDepthMax = 5;
+  Meta.Server.RejectedRequests = 1;
+  json::Value Doc;
+  ASSERT_TRUE(json::parse(statsJson(CR, Meta).str(2), Doc, &Error)) << Error;
+  ASSERT_TRUE(Doc["server"].isObject());
+  const json::Value &S = Doc["server"];
+  EXPECT_EQ(S["cache_hits"].asInt(), 12);
+  EXPECT_EQ(S["cache_misses"].asInt(), 3);
+  EXPECT_EQ(S["cache_bytes"].asInt(), 4096);
+  EXPECT_EQ(S["queue_depth_max"].asInt(), 5);
+  EXPECT_EQ(S["rejected_requests"].asInt(), 1);
+  expectNoNulls(Doc["server"], "$.server");
+
+  std::string Text = statsText(CR, Meta);
+  EXPECT_NE(Text.find("server: cache hits=12 misses=3"), std::string::npos);
+}
+
 //===----------------------------------------------------------------------===//
 // Chrome trace-event JSON
 //===----------------------------------------------------------------------===//
