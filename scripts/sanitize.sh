@@ -1,23 +1,53 @@
 #!/usr/bin/env bash
-# Builds the tree with AddressSanitizer + UndefinedBehaviorSanitizer into a
-# separate build directory and runs the full test suite under both. The
-# robustness layer converts allocator failures into exceptions that cross
-# module boundaries, so an instrumented run is the cheapest way to prove the
-# error paths neither leak nor touch freed IR.
+# Builds the tree under a sanitizer into a separate build directory and runs
+# the test suite instrumented. Two modes:
 #
-# Usage: scripts/sanitize.sh [build-dir]
+#   asan (default) — AddressSanitizer + UndefinedBehaviorSanitizer over the
+#     full suite. The robustness layer converts allocator failures into
+#     exceptions that cross module boundaries, so an instrumented run is the
+#     cheapest way to prove the error paths neither leak nor touch freed IR.
+#   tsan — ThreadSanitizer over the concurrency-bearing subset (shard pool,
+#     bounded queue, compile service, server drain, parallel allocation).
+#     The crash-only serving layer (DESIGN.md §13) lives and dies by the
+#     ordering between workers, the drain watcher, the watchdog, and the
+#     serve loop; TSan is the referee.
+#
+# Usage: scripts/sanitize.sh [asan|tsan] [build-dir]
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD_DIR="${1:-$REPO_ROOT/build-sanitize}"
+MODE="${1:-asan}"
+BUILD_DIR="${2:-$REPO_ROOT/build-$MODE}"
+
+case "$MODE" in
+asan)
+  SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+  ;;
+tsan)
+  SAN_FLAGS="-fsanitize=thread"
+  ;;
+*)
+  echo "usage: scripts/sanitize.sh [asan|tsan] [build-dir]" >&2
+  exit 2
+  ;;
+esac
 
 cmake -S "$REPO_ROOT" -B "$BUILD_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
+  -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+  -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS" >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
-ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
-  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+if [ "$MODE" = tsan ]; then
+  # The threaded surface: everything that spawns workers or races a drain
+  # (ctest names are gtest suite.case, so match the suite prefixes).
+  TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+    --no-tests=error \
+    -R '^(Server|Shard|BoundedQueue|Service|Deadline|AllocBudget|ParallelDeterminism)'
+else
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+fi
 
-echo "sanitized test run OK in $BUILD_DIR"
+echo "sanitized ($MODE) test run OK in $BUILD_DIR"

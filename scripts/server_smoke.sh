@@ -9,7 +9,15 @@
 #      warm response's output_hash matches the cold compile of that source;
 #   2. replays a shorter trace over a unix-domain socket (the second
 #      transport) with the same assertions;
-#   3. runs bench/server_load (cold-vs-warm, 10% edit rate) and merges its
+#   3. drains rapd with a real SIGTERM landing mid-batch and asserts the
+#      crash-only contract: every admitted request got exactly one
+#      well-formed response (zero lost), no response arrives after the ones
+#      that were in flight finish, and the exit code is 0 (fast drain) /
+#      3 (a tiny --drain-ms forced the drain watcher to cancel work);
+#   4. runs bench/server_chaos (seeded fault schedule over every server
+#      chaos site, mid-request shutdowns included) and asserts its
+#      exactly-one-response + bit-identical-output invariants;
+#   5. runs bench/server_load (cold-vs-warm, 10% edit rate) and merges its
 #      rap-bench-v1 JSON into BENCH_alloc.json as the "server_load" section,
 #      asserting the acceptance bar: warm >= 2x cold functions/sec at a
 #      >= 80% hit rate.
@@ -21,7 +29,7 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 
 cmake -S "$REPO_ROOT" -B "$BUILD_DIR" >/dev/null
-cmake --build "$BUILD_DIR" --target rapd server_load -j "$(nproc)"
+cmake --build "$BUILD_DIR" --target rapd server_load server_chaos -j "$(nproc)"
 
 RAPD="$BUILD_DIR/src/server/rapd"
 
@@ -155,7 +163,80 @@ finally:
         os.unlink(path)
 PYEOF
 
-# --- 3. load bench -> BENCH_alloc.json "server_load" section ---------------
+# --- 3. SIGTERM mid-batch: graceful drain, zero lost responses --------------
+python3 - "$RAPD" <<'PYEOF'
+import json, os, signal, subprocess, sys, time
+
+rapd = sys.argv[1]
+
+def fn(i):
+    # Pressure-heavy body: many simultaneously-live values so allocation at
+    # k=3 does real spilling work and a module of these cannot finish inside
+    # the drain watcher's poll latency.
+    return (f"int job{i}(int n) {{\n"
+            f"  int a = n + {i}; int b = a * 3; int c = a - b;\n"
+            f"  int d = a * b % 9973; int e = c + d; int f = e * 2;\n"
+            f"  for (int j = 0; j < n; j = j + 1) {{\n"
+            f"    int t = a * j + b;\n"
+            f"    if (t % 2 == 0) {{ a = a + c * j; b = b + e; }}\n"
+            f"    else {{ d = d + f - t; e = e + a % 367; }}\n"
+            f"    c = c + (a + b) % 275; f = f + (c - d) * 3;\n"
+            f"  }}\n  return a + b + c + d + e + f;\n}}\n")
+
+def module(count, salt):
+    src = "".join(fn(i * 131 + salt) for i in range(count))
+    calls = "".join(f"  acc = acc + job{i * 131 + salt}(5);\n"
+                    for i in range(count))
+    return src + "int main() {\n  int acc = 0;\n" + calls + "  return acc;\n}\n"
+
+def drain_run(drain_ms, heavy, settle):
+    # A batch of distinct compiles keeps the server busy long enough for the
+    # signal to land mid-work; stdin stays open so only the signal (not EOF)
+    # can end the serve loop.
+    reqs = [{"id": i, "op": "compile", "source": module(heavy, i),
+             "options": {"alloc": "rap", "k": 3}} for i in range(1, 7)]
+    proc = subprocess.Popen(
+        [rapd, "--shards=2", "--no-hello", f"--drain-ms={drain_ms}"],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True)
+    for r in reqs:
+        proc.stdin.write(json.dumps(r) + "\n")
+    proc.stdin.flush()
+    time.sleep(settle)  # let the batch get admitted and in flight
+    proc.send_signal(signal.SIGTERM)
+    out, err = proc.communicate(timeout=300)
+    lines = [json.loads(l) for l in out.splitlines() if l.strip()]
+    ids = [l.get("id") for l in lines]
+    # Exactly-one-response: no duplicates, ids form a prefix of the trace
+    # (admission stops at the signal; everything admitted answers).
+    assert len(ids) == len(set(ids)), f"duplicate responses: {ids}"
+    assert ids == [r["id"] for r in reqs][:len(ids)], \
+        f"responses not a prefix of admissions: {ids}"
+    for l in lines:
+        assert l["ok"] or l.get("kind") in ("cancelled", "deadline-exceeded"), \
+            f"malformed drained response: {l}"
+    return proc.returncode, lines
+
+# Generous drain window: whatever was admitted finishes, exit 0.
+code, lines = drain_run(drain_ms=60000, heavy=2, settle=0.15)
+assert code == 0, f"clean drain exited {code}"
+assert all(l["ok"] for l in lines), f"clean drain cancelled work: {lines}"
+
+# 1ms drain window + heavy compiles (the signal lands early, well inside
+# the first compile): the drain watcher must cancel what is in flight
+# (responses still delivered, kind "cancelled") and exit 3.
+code, lines = drain_run(drain_ms=1, heavy=160, settle=0.05)
+assert code == 3, f"degraded drain exited {code}, want 3"
+assert any(not l["ok"] and l.get("kind") == "cancelled" for l in lines), \
+    f"degraded drain produced no cancelled response: {lines}"
+print(f"SIGTERM drain OK: clean drain exit 0, forced drain exit 3, "
+      f"zero lost responses")
+PYEOF
+
+# --- 4. chaos soak: every server fault site, exactly-one-response -----------
+"$BUILD_DIR/bench/server_chaos" --requests=200 --shards=4 --seed=1
+
+# --- 5. load bench -> BENCH_alloc.json "server_load" section ---------------
 "$BUILD_DIR/bench/server_load" --json --requests=100 --edit-rate=0.1 \
   > "$REPO_ROOT/BENCH_server_tmp.json"
 python3 "$REPO_ROOT/scripts/merge_bench_section.py" \

@@ -92,6 +92,11 @@ json::Value rap::statsJson(const CompileResult &R, const ReportMeta &Meta) {
     S["cache_bytes"] = Meta.Server.CacheBytes;
     S["queue_depth_max"] = Meta.Server.QueueDepthMax;
     S["rejected_requests"] = Meta.Server.RejectedRequests;
+    S["deadline_exceeded"] = Meta.Server.DeadlineExceeded;
+    S["cancelled"] = Meta.Server.Cancelled;
+    S["watchdog_trips"] = Meta.Server.WatchdogTrips;
+    S["drain_ms"] = Meta.Server.DrainMs;
+    S["drain_degraded"] = Meta.Server.DrainDegraded;
     Root["server"] = json::Value(std::move(S));
   }
   return json::Value(std::move(Root));
@@ -137,6 +142,16 @@ std::string rap::statsText(const CompileResult &R, const ReportMeta &Meta) {
                   static_cast<unsigned long long>(Meta.Server.QueueDepthMax),
                   static_cast<unsigned long long>(
                       Meta.Server.RejectedRequests));
+    Out += Buf;
+    std::snprintf(Buf, sizeof(Buf),
+                  "  server-drain: deadline-exceeded=%llu cancelled=%llu "
+                  "watchdog-trips=%llu drain-ms=%u degraded=%s\n",
+                  static_cast<unsigned long long>(
+                      Meta.Server.DeadlineExceeded),
+                  static_cast<unsigned long long>(Meta.Server.Cancelled),
+                  static_cast<unsigned long long>(Meta.Server.WatchdogTrips),
+                  Meta.Server.DrainMs,
+                  Meta.Server.DrainDegraded ? "yes" : "no");
     Out += Buf;
   }
   if (!R.Telemetry.Counters.empty()) {

@@ -33,6 +33,11 @@ struct ServerReportStats {
   uint64_t CacheBytes = 0; ///< resident cache estimate at report time
   uint64_t QueueDepthMax = 0;
   uint64_t RejectedRequests = 0;
+  uint64_t DeadlineExceeded = 0; ///< requests that ran out of deadline_ms
+  uint64_t Cancelled = 0;        ///< requests aborted by the drain
+  uint64_t WatchdogTrips = 0;    ///< workers caught overstaying a deadline
+  unsigned DrainMs = 0;          ///< configured drain window
+  bool DrainDegraded = false;    ///< the drain deadline had to cancel work
 };
 
 /// Context the stats document records about the run that produced it.

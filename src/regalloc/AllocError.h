@@ -31,6 +31,8 @@ enum class AllocErrorKind {
   ResourceLimit,      ///< a guard (graph bytes, spill actions, wall clock) hit
   VerifierReject,     ///< checked mode: AssignmentVerifier found violations
   InjectedFault,      ///< deterministic fault injection fired (testing)
+  DeadlineExceeded,   ///< the request's CancelToken deadline passed
+  Cancelled,          ///< the request's CancelToken was cancelled (drain)
 };
 
 inline const char *allocErrorKindName(AllocErrorKind K) {
@@ -49,6 +51,10 @@ inline const char *allocErrorKindName(AllocErrorKind K) {
     return "verifier-reject";
   case AllocErrorKind::InjectedFault:
     return "injected-fault";
+  case AllocErrorKind::DeadlineExceeded:
+    return "deadline-exceeded";
+  case AllocErrorKind::Cancelled:
+    return "cancelled";
   }
   return "unknown";
 }

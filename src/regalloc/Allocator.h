@@ -34,7 +34,9 @@
 #include "ir/IlocProgram.h"
 #include "regalloc/AllocOutcome.h"
 #include "regalloc/FaultInjection.h"
+#include "support/Deadline.h"
 
+#include <chrono>
 #include <string>
 
 namespace rap {
@@ -97,6 +99,16 @@ struct AllocOptions {
   /// FallbackOnError (the fallback itself is deterministic).
   double MaxAllocSeconds = 0;
 
+  /// Cooperative cancellation for server requests: checked at the same
+  /// round boundaries as MaxAllocSeconds. An expired deadline raises
+  /// AllocError(DeadlineExceeded), an explicit cancel (graceful drain)
+  /// raises AllocError(Cancelled); both degrade cleanly through the
+  /// spill-everything fallback. Null (the default, and the rapcc path)
+  /// costs one pointer test per check. Excluded from cache fingerprints:
+  /// like Threads, it never steers allocation decisions, only whether the
+  /// run finishes.
+  const CancelToken *Cancel = nullptr;
+
   /// Checked mode: run the independent AssignmentVerifier on the coloring
   /// before the physical rewrite; violations raise
   /// AllocError(VerifierReject). The spill-everything fallback self-checks
@@ -133,6 +145,32 @@ struct AllocOptions {
   /// points yourself.
   telemetry::FunctionScope *Scope = nullptr;
 };
+
+/// Round-boundary guard shared by GRA and RAP: one call enforcing both the
+/// per-function wall-clock budget (MaxAllocSeconds) and the cooperative
+/// cancel token (per-request deadline / graceful drain). Throws AllocError
+/// on breach; the throw leaves the function at an IR-consistent boundary so
+/// the spill-everything fallback applies.
+inline void checkAllocBudget(const AllocOptions &Options,
+                             std::chrono::steady_clock::time_point Start,
+                             const std::string &Function, int Region = -1) {
+  if (Options.Cancel && Options.Cancel->stopRequested()) {
+    bool DeadlineHit = Options.Cancel->expired();
+    throwAllocError(DeadlineHit ? AllocErrorKind::DeadlineExceeded
+                                : AllocErrorKind::Cancelled,
+                    DeadlineHit ? "request deadline exceeded"
+                                : "request cancelled (server drain)",
+                    Function, Region);
+  }
+  if (Options.MaxAllocSeconds > 0 &&
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+              .count() > Options.MaxAllocSeconds)
+    throwAllocError(AllocErrorKind::ResourceLimit,
+                    "wall-clock budget of " +
+                        std::to_string(Options.MaxAllocSeconds) +
+                        "s exceeded",
+                    Function, Region);
+}
 
 /// Allocates registers for \p F with the baseline allocator. \p F must be
 /// unallocated. Throws AllocError on failure.

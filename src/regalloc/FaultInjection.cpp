@@ -21,6 +21,14 @@ const char *rap::faultSiteName(FaultSite S) {
     return "spill";
   case FaultSite::PhysicalRewrite:
     return "rewrite";
+  case FaultSite::ProtocolParse:
+    return "parse";
+  case FaultSite::CacheInsert:
+    return "cache-insert";
+  case FaultSite::WorkerStall:
+    return "stall";
+  case FaultSite::MidShutdown:
+    return "shutdown";
   }
   return "unknown";
 }
@@ -32,8 +40,17 @@ static FaultSite parseSite(const std::string &Name) {
     return FaultSite::SpillInsert;
   if (Name == "rewrite")
     return FaultSite::PhysicalRewrite;
-  throw std::invalid_argument("unknown fault site '" + Name +
-                              "' (expected color|spill|rewrite)");
+  if (Name == "parse")
+    return FaultSite::ProtocolParse;
+  if (Name == "cache-insert")
+    return FaultSite::CacheInsert;
+  if (Name == "stall")
+    return FaultSite::WorkerStall;
+  if (Name == "shutdown")
+    return FaultSite::MidShutdown;
+  throw std::invalid_argument(
+      "unknown fault site '" + Name +
+      "' (expected color|spill|rewrite|parse|cache-insert|stall|shutdown)");
 }
 
 FaultPlan FaultPlan::fromString(const std::string &Spec) {
@@ -86,15 +103,22 @@ FaultInjector::FaultInjector(const FaultPlan &Plan, std::string Function)
 }
 
 void FaultInjector::hitSlow(FaultSite S) {
+  if (firesSlow(S))
+    throwAllocError(AllocErrorKind::InjectedFault,
+                    std::string("fault injected at site '") +
+                        faultSiteName(S) + "'",
+                    Function);
+}
+
+bool FaultInjector::firesSlow(FaultSite S) {
+  bool Fired = false;
   for (Counter &C : Counters) {
     if (C.Site != S)
       continue;
     if (--C.Remaining == 0)
-      throwAllocError(AllocErrorKind::InjectedFault,
-                      std::string("fault injected at site '") +
-                          faultSiteName(S) + "'",
-                      Function);
+      Fired = true;
   }
+  return Fired;
 }
 
 const FaultPlan &rap::envFaultPlan() {

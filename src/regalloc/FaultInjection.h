@@ -16,11 +16,18 @@
 ///
 ///   RAP_FAULT_INJECT=<site>:<n>[@<function>][,<site>:<n>[@<function>]...]
 ///
-/// where <site> is one of `color` (before a graph coloring), `spill` (before
-/// a spill-code insertion), `rewrite` (before the physical rewrite), and the
-/// fault fires on the <n>-th hit of that site — in every function, or only
-/// in <function> when the @ suffix is given. Injection points sit at
-/// IR-consistent boundaries (before the operation edits any code).
+/// where <site> is an allocator site — `color` (before a graph coloring),
+/// `spill` (before a spill-code insertion), `rewrite` (before the physical
+/// rewrite) — or a server site — `parse` (protocol dispatch), `cache-insert`
+/// (allocation-cache insertion), `stall` (a worker ignores its cancel token
+/// for a while), `shutdown` (the server's stop flag flips mid-request) —
+/// and the fault fires on the <n>-th hit of that site: in every function,
+/// or only in <function> when the @ suffix is given (server sites ignore
+/// the suffix). Injection points sit at IR-consistent boundaries (before
+/// the operation edits any code). Allocator sites fire by throwing
+/// AllocError via hit(); server sites use the non-throwing fires() and let
+/// the call site decide the failure mode (a stall sleeps, a shutdown flips
+/// a flag, the others raise contained errors).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,6 +45,13 @@ enum class FaultSite {
   Coloring,        ///< immediately before a colorGraph call
   SpillInsert,     ///< immediately before spill-code insertion
   PhysicalRewrite, ///< immediately before rewriteToPhysical
+
+  // Server-layer chaos sites (rapd; DESIGN.md §13). These never fire inside
+  // an allocator run — they are counted by the server's own injectors.
+  ProtocolParse, ///< during request dispatch, after JSON parsing
+  CacheInsert,   ///< before an AllocCache::insert
+  WorkerStall,   ///< a shard worker stalls, ignoring its cancel token
+  MidShutdown,   ///< the server's shutdown flag flips mid-request
 };
 
 const char *faultSiteName(FaultSite S);
@@ -75,8 +89,15 @@ public:
       hitSlow(S);
   }
 
+  /// Non-throwing variant for the server sites: registers one hit of \p S
+  /// and returns true when a countdown fired. The call site chooses the
+  /// failure mode (sleep, flag flip, contained error) — server faults must
+  /// degrade to structured responses, not exceptions racing across threads.
+  bool fires(FaultSite S) { return !Counters.empty() && firesSlow(S); }
+
 private:
   void hitSlow(FaultSite S);
+  bool firesSlow(FaultSite S);
 
   struct Counter {
     FaultSite Site;

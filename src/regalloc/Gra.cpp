@@ -59,13 +59,9 @@ public:
     telemetry::FunctionScope *TS = Options.Scope;
     std::unique_ptr<CodeInfo> CI;
     for (unsigned Round = 0; Round != Options.MaxSpillRounds; ++Round) {
-      if (Options.MaxAllocSeconds > 0 &&
-          secondsSince(StartTime) > Options.MaxAllocSeconds)
-        throwAllocError(AllocErrorKind::ResourceLimit,
-                        "wall-clock budget of " +
-                            std::to_string(Options.MaxAllocSeconds) +
-                            "s exceeded",
-                        F.name());
+      // Unified guard: wall-clock budget + request cancel token (deadline /
+      // drain), checked once per spill/color round.
+      checkAllocBudget(Options, StartTime, F.name());
       telemetry::ScopedPhase RoundPhase(TS, "gra_round");
       // Warm-start liveness from the previous round's solution.
       CI = std::make_unique<CodeInfo>(F, CI.get());

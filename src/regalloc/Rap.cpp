@@ -51,14 +51,9 @@ RapAllocator::RapAllocator(IlocFunction &F, const AllocOptions &Options)
 }
 
 void RapAllocator::checkTimeBudget(int Region) {
-  if (Options.MaxAllocSeconds <= 0)
-    return;
-  if (secondsSince(StartTime) > Options.MaxAllocSeconds)
-    throwAllocError(AllocErrorKind::ResourceLimit,
-                    "wall-clock budget of " +
-                        std::to_string(Options.MaxAllocSeconds) +
-                        "s exceeded",
-                    F.name(), Region);
+  // One unified guard: MaxAllocSeconds and the request's cancel token
+  // (deadline / drain) share the same round-boundary check points.
+  checkAllocBudget(Options, StartTime, F.name(), Region);
 }
 
 void RapAllocator::refresh() {

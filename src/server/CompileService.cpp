@@ -10,6 +10,9 @@
 #include "regalloc/SpillEverything.h"
 #include "support/Hash.h"
 
+#include <chrono>
+#include <thread>
+
 using namespace rap;
 using namespace rap::server;
 
@@ -20,15 +23,52 @@ uint64_t server::hashProgramOutput(const IlocProgram &Prog) {
   return H.value();
 }
 
+const char *server::serviceStatusName(ServiceStatus S) {
+  switch (S) {
+  case ServiceStatus::Ok:
+    return "ok";
+  case ServiceStatus::CompileError:
+    return "compile-error";
+  case ServiceStatus::DeadlineExceeded:
+    return "deadline-exceeded";
+  case ServiceStatus::Cancelled:
+    return "cancelled";
+  }
+  return "unknown";
+}
+
 CompileService::CompileService(const ServiceConfig &Config)
-    : Cache(Config.CacheBytes), Pool(Config.Shards) {}
+    : Config(Config), Cache(Config.CacheBytes),
+      Pool(Config.Shards, Config.Watchdog),
+      Chaos(Config.Chaos.empty() ? envFaultPlan() : Config.Chaos,
+            std::string()) {}
+
+bool CompileService::chaosFires(FaultSite S) {
+  std::lock_guard<std::mutex> Lock(ChaosM);
+  return Chaos.fires(S);
+}
 
 namespace {
+
+/// The `stall` chaos fault: wedge this worker for a while, deliberately
+/// ignoring every cancellation point — the failure mode the ShardPool
+/// watchdog exists to detect.
+void stallIgnoringToken(unsigned Ms) {
+  auto End =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(Ms);
+  while (std::chrono::steady_clock::now() < End)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
 
 /// One function's fault-isolated allocation on a pool worker: the same
 /// snapshot + spill-everything degradation discipline as the rapcc driver,
 /// reimplemented here because the server reports through FunctionReport
-/// slots instead of ProgramAllocResult. Never throws.
+/// slots instead of ProgramAllocResult. Never throws. Deadline expiry and
+/// drain cancellation arrive here as AllocError (thrown by the allocators'
+/// round-boundary guard) and take the same fallback path: the half-edited
+/// body is discarded and the pristine snapshot gets the guaranteed-correct
+/// linear-time spill-everything allocation — the request may be answering
+/// `deadline-exceeded`, but the shard finishes clean, never wedged.
 void allocateSlot(IlocProgram &Prog, unsigned I, AllocatorKind Kind,
                   const AllocOptions &Options, FunctionReport &Report,
                   AllocStats &Stats) {
@@ -63,6 +103,35 @@ ServiceResult CompileService::compile(const std::string &Source,
   Requests.fetch_add(1, std::memory_order_relaxed);
   ServiceResult Res;
 
+  // The request's cancel token: armed from deadline_ms, parented by the
+  // server's drain token. Every stack below (cache replay loop, pool tasks,
+  // allocator round boundaries) checks this one object; it outlives all of
+  // them because the task barrier completes before this frame returns.
+  CancelToken Token(Opts.DeadlineMs > 0 ? Deadline::afterMs(Opts.DeadlineMs)
+                                        : Deadline(),
+                    Config.StopToken);
+
+  // Folds the abort into a stable status. Deadline expiry wins over drain
+  // cancellation (both may be true); the response never carries partial
+  // output — and, critically, an aborted request has inserted nothing into
+  // the cache, so wall-clock races cannot perturb deterministic cache
+  // state.
+  auto aborted = [&] {
+    bool DeadlineHit = Token.expired();
+    Res.Ok = false;
+    Res.Status = DeadlineHit ? ServiceStatus::DeadlineExceeded
+                             : ServiceStatus::Cancelled;
+    Res.Errors = DeadlineHit
+                     ? "deadline of " + std::to_string(Opts.DeadlineMs) +
+                           "ms exceeded (" +
+                           std::to_string(Res.Functions.size()) +
+                           " function(s) in request)"
+                     : "request cancelled (server drain)";
+    (DeadlineHit ? DeadlineExceededCount : CancelledCount)
+        .fetch_add(1, std::memory_order_relaxed);
+    Res.Prog.reset();
+  };
+
   // Frontend + lowering, unallocated (AllocatorKind::None short-circuits
   // the allocation driver). This path inherits the crash-free contract:
   // hostile sources come back as diagnostics, never exceptions.
@@ -73,6 +142,11 @@ ServiceResult CompileService::compile(const std::string &Source,
   CompileResult CR = compileMiniC(Source, CO);
   if (!CR.ok()) {
     Res.Errors = CR.Errors;
+    Res.Status = ServiceStatus::CompileError;
+    return Res;
+  }
+  if (Token.stopRequested()) {
+    aborted();
     return Res;
   }
   Res.Prog = std::move(CR.Prog);
@@ -82,6 +156,7 @@ ServiceResult CompileService::compile(const std::string &Source,
 
   AllocOptions AO;
   AO.K = Opts.K;
+  AO.Cancel = &Token;
 
   // Phase 1 (inline): fingerprint every function and replay cache hits.
   // Hits swap a clone of the stored allocated body into the program slot.
@@ -89,6 +164,10 @@ ServiceResult CompileService::compile(const std::string &Source,
   std::vector<unsigned> Misses;
   if (Opts.Allocator != AllocatorKind::None) {
     for (unsigned I = 0; I != N; ++I) {
+      if (Token.stopRequested()) {
+        aborted();
+        return Res;
+      }
       IlocFunction *F = Prog.functions()[I].get();
       FunctionReport &R = Res.Functions[I];
       R.Name = F->name();
@@ -108,26 +187,43 @@ ServiceResult CompileService::compile(const std::string &Source,
     // Phase 2 (parallel): allocate the misses on the shard pool. One
     // request's misses share an affinity hint so they land on one shard;
     // idle shards steal them back when the batch is skewed. The calling
-    // thread is never a pool worker, so waiting here cannot deadlock.
+    // thread is never a pool worker, so waiting here cannot deadlock. The
+    // barrier ALWAYS completes: queued tasks whose token already stopped
+    // are skipped by the pool, and running allocations abort at their next
+    // round boundary — a deadline can cost one round, never a wedged shard.
     size_t Hint = NextShardHint.fetch_add(1, std::memory_order_relaxed);
     if (!Misses.empty()) {
       TaskGroup Group;
       Group.expect(Misses.size());
       for (unsigned I : Misses)
-        Pool.submit(Hint, [&Prog, I, &Opts, AO, &Res, &SlotStats] {
+        Pool.submit(Hint, [this, &Prog, I, &Opts, AO, &Res, &SlotStats] {
+          if (chaosFires(FaultSite::WorkerStall)) {
+            ChaosInjectedCount.fetch_add(1, std::memory_order_relaxed);
+            stallIgnoringToken(Config.ChaosStallMs);
+          }
           allocateSlot(Prog, I, Opts.Allocator, AO, Res.Functions[I],
                        SlotStats[I]);
-        }, &Group);
+        }, &Group, &Token);
       Group.wait();
+    }
+    if (Token.stopRequested()) {
+      aborted();
+      return Res;
     }
 
     // Phase 3 (inline, function order): insert the fresh allocations into
     // the cache *after* the barrier so LRU order — and therefore eviction —
     // is a function of the request sequence alone, not thread scheduling.
+    // The cache-insert chaos site drops the insert (a contained fault: the
+    // function simply misses again next time); it never corrupts state.
     for (unsigned I : Misses) {
       FunctionReport &R = Res.Functions[I];
       if (R.Status == AllocStatus::Failed)
         continue; // nothing replayable
+      if (chaosFires(FaultSite::CacheInsert)) {
+        ChaosInjectedCount.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       AllocOutcome Out;
       Out.Function = R.Name;
       Out.Status = R.Status;
@@ -149,8 +245,13 @@ ServiceResult CompileService::compile(const std::string &Source,
   }
   Res.OutputHash = hashProgramOutput(Prog);
   Res.Ok = true;
+  Res.Status = ServiceStatus::Ok;
 
   if (Opts.Run) {
+    if (Token.stopRequested()) {
+      aborted();
+      return Res;
+    }
     Interpreter Interp(Prog);
     Res.Exec = Interp.run("main", Opts.Fuel);
   }
@@ -168,5 +269,10 @@ ServiceCounters CompileService::counters() const {
   C.CacheEvictions = CC.Evictions;
   C.QueueDepthMax = Pool.queueDepthMax();
   C.TasksStolen = Pool.tasksStolen();
+  C.DeadlineExceeded = DeadlineExceededCount.load(std::memory_order_relaxed);
+  C.Cancelled = CancelledCount.load(std::memory_order_relaxed);
+  C.WatchdogTrips = Pool.watchdogTrips();
+  C.ShardsDegraded = Pool.shardsDegraded();
+  C.ChaosInjected = ChaosInjectedCount.load(std::memory_order_relaxed);
   return C;
 }

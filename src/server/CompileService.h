@@ -24,6 +24,13 @@
 ///   * cache insertion happens after the barrier, in function order, so
 ///     LRU/eviction state evolves identically at any shard count.
 ///
+/// Crash-only serving (DESIGN.md §13) threads a CancelToken through every
+/// request: `deadline_ms` arms it, the server's drain token parents it, the
+/// allocators check it at round boundaries, and an aborted request answers
+/// with a stable `deadline-exceeded` / `cancelled` status. Aborted requests
+/// never insert into the cache — wall-clock races must not perturb the
+/// deterministic cache state that fault-free replays assert against.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RAP_SERVER_COMPILESERVICE_H
@@ -32,10 +39,12 @@
 #include "driver/Pipeline.h"
 #include "server/AllocCache.h"
 #include "server/ShardPool.h"
+#include "support/Deadline.h"
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -46,9 +55,22 @@ namespace server {
 struct ServiceConfig {
   unsigned Shards = 4;                  ///< work-stealing workers
   size_t CacheBytes = 256u << 20;       ///< 0 = caching off (cold baseline)
+  /// Server-wide stop signal (the drain-kill token): parented into every
+  /// request token so one cancel() aborts all in-flight compilations at
+  /// their next cooperative check. Null outside rapd.
+  const CancelToken *StopToken = nullptr;
+  /// Deterministic server-layer chaos schedule (sites cache-insert/stall);
+  /// empty = the process-wide RAP_FAULT_INJECT plan, if any.
+  FaultPlan Chaos;
+  /// How long a `stall` chaos fault wedges a worker, ignoring its token
+  /// (exercises the ShardPool watchdog).
+  unsigned ChaosStallMs = 50;
+  /// Watchdog tuning for the shard pool (Factor 0 disables).
+  WatchdogConfig Watchdog;
 };
 
-/// Per-request compile options: the protocol's "options" object.
+/// Per-request compile options: the protocol's "options" object plus the
+/// request-level `deadline_ms`.
 struct RequestOptions {
   AllocatorKind Allocator = AllocatorKind::Rap;
   unsigned K = 5;
@@ -56,7 +78,22 @@ struct RequestOptions {
   CopyStyle Copies = CopyStyle::Naive;
   bool Run = false;              ///< execute main() and report counters
   uint64_t Fuel = 500'000'000;   ///< interpreter budget when Run
+  /// End-to-end budget for this request in milliseconds; 0 = none. The
+  /// deadline covers lowering, allocation (hits and misses), and execution;
+  /// past it the request answers `deadline-exceeded`. Never fingerprinted —
+  /// it does not steer allocation decisions.
+  uint64_t DeadlineMs = 0;
 };
+
+/// How a request ended, beyond the per-function detail.
+enum class ServiceStatus {
+  Ok,               ///< compiled; Functions/OutputHash are meaningful
+  CompileError,     ///< frontend diagnostics in Errors
+  DeadlineExceeded, ///< the request's deadline_ms budget ran out
+  Cancelled,        ///< the server drain (or an explicit cancel) aborted it
+};
+
+const char *serviceStatusName(ServiceStatus S);
 
 /// One function's slice of a response.
 struct FunctionReport {
@@ -70,6 +107,7 @@ struct FunctionReport {
 /// One compiled request.
 struct ServiceResult {
   bool Ok = false;
+  ServiceStatus Status = ServiceStatus::CompileError;
   std::string Errors; ///< compile diagnostics when !Ok
   std::unique_ptr<IlocProgram> Prog;
   std::vector<FunctionReport> Functions;
@@ -100,6 +138,11 @@ struct ServiceCounters {
   uint64_t CacheEvictions = 0;
   uint64_t QueueDepthMax = 0;
   uint64_t TasksStolen = 0;
+  uint64_t DeadlineExceeded = 0; ///< requests that ran out of deadline_ms
+  uint64_t Cancelled = 0;        ///< requests aborted by drain/cancel
+  uint64_t WatchdogTrips = 0;    ///< workers caught overstaying N x deadline
+  uint64_t ShardsDegraded = 0;   ///< shards currently wedged (watchdog view)
+  uint64_t ChaosInjected = 0;    ///< contained server-layer chaos faults
 };
 
 class CompileService {
@@ -107,7 +150,7 @@ public:
   explicit CompileService(const ServiceConfig &Config);
 
   /// Compiles one request. Thread-safe: concurrent callers share the cache
-  /// and the pool; each gets its own program and slots.
+  /// and the pool; each gets its own program, slots, and cancel token.
   ServiceResult compile(const std::string &Source, const RequestOptions &Opts);
 
   ServiceCounters counters() const;
@@ -115,10 +158,20 @@ public:
   size_t cacheBudgetBytes() const { return Cache.budgetBytes(); }
 
 private:
+  /// Thread-safe countdown on the service's chaos schedule (server sites
+  /// fire from pool workers and the service thread alike).
+  bool chaosFires(FaultSite S);
+
+  ServiceConfig Config;
   AllocCache Cache;
   ShardPool Pool;
   std::atomic<uint64_t> Requests{0};
   std::atomic<uint64_t> NextShardHint{0};
+  std::atomic<uint64_t> DeadlineExceededCount{0};
+  std::atomic<uint64_t> CancelledCount{0};
+  std::atomic<uint64_t> ChaosInjectedCount{0};
+  std::mutex ChaosM;
+  FaultInjector Chaos;
 };
 
 /// Stable hash of a whole allocated program (function texts in order) —

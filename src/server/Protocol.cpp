@@ -124,14 +124,24 @@ bool server::parseRequest(const json::Value &V, Request &Out,
   }
   if (Opts.has("dump"))
     Out.Dump = Opts["dump"].asBool();
+  if (Opts.has("deadline_ms")) {
+    if (!Opts["deadline_ms"].isInt() || Opts["deadline_ms"].asInt() <= 0) {
+      Error = "'deadline_ms' must be a positive integer";
+      return false;
+    }
+    Out.Options.DeadlineMs =
+        static_cast<uint64_t>(Opts["deadline_ms"].asInt());
+  }
   return true;
 }
 
 json::Value server::compileResponse(const Request &Req,
                                     const ServiceResult &Res) {
   if (!Res.Ok) {
+    // Aborted statuses (deadline-exceeded/cancelled) are mapped to their
+    // error kinds by the server's dispatch; here !Ok means diagnostics.
     json::Object O = responseBase(Req, false);
-    O["kind"] = "compile-error";
+    O["kind"] = serviceStatusName(Res.Status);
     O["error"] = Res.Errors;
     return json::Value(std::move(O));
   }
@@ -209,7 +219,8 @@ json::Value server::overloadedResponse(const Request &Req,
 
 json::Value server::statsResponse(const Request &Req,
                                   const ServiceCounters &C,
-                                  uint64_t RejectedRequests) {
+                                  uint64_t RejectedRequests,
+                                  unsigned DrainMs) {
   json::Object S;
   S["requests"] = C.Requests;
   S["functions"] = C.FunctionsCompiled;
@@ -220,6 +231,12 @@ json::Value server::statsResponse(const Request &Req,
   S["queue_depth_max"] = C.QueueDepthMax;
   S["tasks_stolen"] = C.TasksStolen;
   S["rejected_requests"] = RejectedRequests;
+  S["deadline_exceeded"] = C.DeadlineExceeded;
+  S["cancelled"] = C.Cancelled;
+  S["watchdog_trips"] = C.WatchdogTrips;
+  S["shards_degraded"] = C.ShardsDegraded;
+  S["chaos_injected"] = C.ChaosInjected;
+  S["drain_ms"] = DrainMs;
   json::Object O = responseBase(Req, true);
   O["stats"] = json::Value(std::move(S));
   return json::Value(std::move(O));

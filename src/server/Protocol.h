@@ -12,16 +12,19 @@
 ///
 ///   {"op":"compile","id":7,"source":"...","options":{"alloc":"rap","k":5,
 ///    "granularity":"stmt","copies":"naive","run":false,"fuel":N,
-///    "dump":false}}
+///    "dump":false,"deadline_ms":250}}
 ///   {"op":"stats","id":8}     -> server counters
 ///   {"op":"ping","id":9}      -> liveness probe
-///   {"op":"shutdown","id":10} -> acknowledge, then stop serving
+///   {"op":"shutdown","id":10} -> acknowledge, then drain and stop serving
 ///
 /// Every response carries "id" (echoed; null when the request had none) and
 /// "ok". Failures set "kind" to a stable machine-readable string:
-/// "bad-request" (unparseable line / unknown op / bad options),
-/// "compile-error" (diagnostics in "error"), "overloaded" (backpressure;
-/// "retry_after_ms" says when to retry). Responses to "compile" report
+/// "bad-request" (unparseable line / oversized line / unknown op / bad
+/// options), "compile-error" (diagnostics in "error"), "overloaded"
+/// (backpressure; "retry_after_ms" says when to retry), "deadline-exceeded"
+/// (the request's deadline_ms budget ran out), "cancelled" (a server drain
+/// aborted it), "internal-error" (a contained server-side fault; the
+/// connection stays usable). Responses to "compile" report
 /// function count, cache hits/misses, degraded count, the 16-hex-digit
 /// "output_hash" of the allocated module, a "per_function" array, the
 /// aggregated "alloc" ledger, optionally "exec" (run:true) and "iloc"
@@ -70,9 +73,11 @@ json::Value errorResponse(const Request &Req, const char *Kind,
 json::Value overloadedResponse(const Request &Req, unsigned RetryAfterMs);
 
 /// Stats response embedding the server counter block (also used by the
-/// rap-stats-v1 "server" section).
+/// rap-stats-v1 "server" section). \p DrainMs echoes the server's
+/// configured drain window so operators can read the whole crash-only
+/// posture off one stats line.
 json::Value statsResponse(const Request &Req, const ServiceCounters &C,
-                          uint64_t RejectedRequests);
+                          uint64_t RejectedRequests, unsigned DrainMs);
 
 /// Simple acks for ping/shutdown.
 json::Value ackResponse(const Request &Req, const char *Kind);

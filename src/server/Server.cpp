@@ -6,6 +6,7 @@
 
 #include "server/Server.h"
 
+#include <chrono>
 #include <cstdio>
 #include <istream>
 #include <ostream>
@@ -15,6 +16,8 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #define RAP_HAVE_UNIX_SOCKETS 1
+#include <cerrno>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -25,41 +28,154 @@
 using namespace rap;
 using namespace rap::server;
 
+const ServiceConfig &Server::patchedServiceConfig() {
+  Config.Service.StopToken = &DrainKill;
+  return Config.Service;
+}
+
 Server::Server(const ServerConfig &Config)
-    : Config(Config), Service(Config.Service) {}
+    : Config(Config), Service(patchedServiceConfig()),
+      Chaos(this->Config.Service.Chaos.empty() ? envFaultPlan()
+                                               : this->Config.Service.Chaos,
+            std::string()) {}
 
 AllocStats Server::totalAllocStats() const {
   std::lock_guard<std::mutex> Lock(StatsM);
   return TotalAlloc;
 }
 
+bool Server::chaosFires(FaultSite S) {
+  std::lock_guard<std::mutex> Lock(ChaosM);
+  return Chaos.fires(S);
+}
+
+//===----------------------------------------------------------------------===//
+// Drain watcher
+//===----------------------------------------------------------------------===//
+
+Server::DrainWatcher::DrainWatcher(Server &S) : S(S) {
+  T = std::thread([this] { run(); });
+}
+
+Server::DrainWatcher::~DrainWatcher() {
+  {
+    std::lock_guard<std::mutex> Lock(S.WatcherM);
+    S.WatcherExit = true;
+  }
+  S.WatcherCV.notify_all();
+  if (T.joinable())
+    T.join();
+  // Reset so a later serve*() call on the same Server gets a fresh watcher.
+  std::lock_guard<std::mutex> Lock(S.WatcherM);
+  S.WatcherExit = false;
+}
+
+void Server::DrainWatcher::run() {
+  // Phase 1: park until the serve loop exits or a shutdown is requested.
+  // The signal flag flips without a notify (handlers cannot notify), so the
+  // wait polls at 20ms — plenty prompt against a DrainMs-scale window.
+  {
+    std::unique_lock<std::mutex> Lock(S.WatcherM);
+    while (!S.WatcherExit && !S.shutdownRequested())
+      S.WatcherCV.wait_for(Lock, std::chrono::milliseconds(20));
+  }
+  if (!S.shutdownRequested())
+    return; // serve loop finished on its own (EOF): nothing to drain
+
+  // Phase 2: the drain window. In-flight requests get DrainMs to finish;
+  // new lines are no longer admitted (the serve loops check
+  // shutdownRequested() before every read). If the window closes with work
+  // still running, cancel the drain-kill token — every in-flight request
+  // aborts at its next cooperative check and answers "cancelled" — and
+  // mark the drain degraded so the serve loop exits 3.
+  auto End = std::chrono::steady_clock::now() +
+             std::chrono::milliseconds(S.Config.DrainMs);
+  while (std::chrono::steady_clock::now() < End &&
+         S.ActiveRequests.load(std::memory_order_acquire) > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  if (S.ActiveRequests.load(std::memory_order_acquire) > 0) {
+    S.DrainDegradedFlag.store(true, std::memory_order_release);
+    S.DrainKill.cancel();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Serving core
+//===----------------------------------------------------------------------===//
+
 json::Value Server::dispatch(const json::Value &Parsed) {
   Request Req;
   std::string Error;
   if (!parseRequest(Parsed, Req, Error))
     return errorResponse(Req, "bad-request", Error);
-  switch (Req.Op) {
-  case RequestOp::Ping:
-    return ackResponse(Req, "pong");
-  case RequestOp::Shutdown:
+  // Chaos site `parse`: a fault during request dispatch degrades to a
+  // structured response — the client still gets exactly one well-formed
+  // answer for the line, which is the invariant the soak harness asserts.
+  if (chaosFires(FaultSite::ProtocolParse))
+    return errorResponse(Req, "internal-error",
+                         "fault injected at site 'parse'");
+  // Chaos site `shutdown`: the stop flag flips mid-request, as if a signal
+  // landed between parse and compile. This request still answers; the
+  // serve loops stop admitting new lines afterwards and the drain begins.
+  if (chaosFires(FaultSite::MidShutdown))
     Shutdown.store(true, std::memory_order_release);
-    return ackResponse(Req, "shutting-down");
-  case RequestOp::Stats:
-    return statsResponse(Req, Service.counters(),
-                         Rejected.load(std::memory_order_relaxed));
-  case RequestOp::Compile: {
-    ServiceResult Res = Service.compile(Req.Source, Req.Options);
-    if (Res.Ok) {
-      std::lock_guard<std::mutex> Lock(StatsM);
-      TotalAlloc.accumulate(Res.Alloc);
+  try {
+    switch (Req.Op) {
+    case RequestOp::Ping:
+      return ackResponse(Req, "pong");
+    case RequestOp::Shutdown:
+      Shutdown.store(true, std::memory_order_release);
+      return ackResponse(Req, "shutting-down");
+    case RequestOp::Stats:
+      return statsResponse(Req, Service.counters(),
+                           Rejected.load(std::memory_order_relaxed),
+                           Config.DrainMs);
+    case RequestOp::Compile: {
+      ServiceResult Res = Service.compile(Req.Source, Req.Options);
+      if (Res.Status == ServiceStatus::DeadlineExceeded ||
+          Res.Status == ServiceStatus::Cancelled)
+        return errorResponse(Req, serviceStatusName(Res.Status), Res.Errors);
+      if (Res.Ok) {
+        std::lock_guard<std::mutex> Lock(StatsM);
+        TotalAlloc.accumulate(Res.Alloc);
+      }
+      return compileResponse(Req, Res);
     }
-    return compileResponse(Req, Res);
+    }
+    return errorResponse(Req, "bad-request", "unreachable");
+  } catch (const std::exception &E) {
+    // The compile pipeline contains its own failures; anything that leaks
+    // to here still becomes a structured response, never a dead connection.
+    return errorResponse(Req, "internal-error",
+                         std::string("uncaught: ") + E.what());
   }
-  }
-  return errorResponse(Req, "bad-request", "unreachable");
 }
 
 std::string Server::handleLine(const std::string &Line) {
+  // In-flight accounting for the drain watcher: a line is "admitted" the
+  // moment a serve loop hands it to us, and owed exactly one response.
+  struct ActiveScope {
+    std::atomic<unsigned> &C;
+    explicit ActiveScope(std::atomic<unsigned> &C) : C(C) {
+      C.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~ActiveScope() { C.fetch_sub(1, std::memory_order_acq_rel); }
+  } Scope(ActiveRequests);
+
+  // The line cap answers before admission: an oversized line is a protocol
+  // violation ("bad-request", permanent), not a load condition
+  // ("overloaded", retry). The socket reader already truncated the line to
+  // cap+1 bytes, so this check costs no unbounded buffering.
+  if (Line.size() > Config.MaxLineBytes) {
+    Rejected.fetch_add(1, std::memory_order_relaxed);
+    Request Anon;
+    return errorResponse(Anon, "bad-request",
+                         "line of " + std::to_string(Line.size()) +
+                             "+ bytes exceeds max-line-bytes (" +
+                             std::to_string(Config.MaxLineBytes) + ")")
+        .str();
+  }
+
   // Admission control happens on raw bytes, before any parsing: a flood of
   // oversized lines costs the server one size check each, nothing more.
   size_t Charge = Line.size();
@@ -72,83 +188,155 @@ std::string Server::handleLine(const std::string &Line) {
   }
 
   std::string Out;
-  json::Value Parsed;
-  std::string Error;
-  if (!json::parse(Line, Parsed, &Error)) {
+  try {
+    json::Value Parsed;
+    std::string Error;
+    if (!json::parse(Line, Parsed, &Error)) {
+      Request Anon;
+      Out = errorResponse(Anon, "bad-request", "unparseable JSON: " + Error)
+                .str();
+    } else if (Parsed.isArray()) {
+      // Batch: one admission unit, responses in request order.
+      json::Array Responses;
+      for (const json::Value &Item : Parsed.asArray())
+        Responses.push_back(dispatch(Item));
+      Out = json::Value(std::move(Responses)).str();
+    } else {
+      Out = dispatch(Parsed).str();
+    }
+  } catch (const std::exception &E) {
     Request Anon;
-    Out = errorResponse(Anon, "bad-request", "unparseable JSON: " + Error)
+    Out = errorResponse(Anon, "internal-error",
+                        std::string("uncaught: ") + E.what())
               .str();
-  } else if (Parsed.isArray()) {
-    // Batch: one admission unit, responses in request order.
-    json::Array Responses;
-    for (const json::Value &Item : Parsed.asArray())
-      Responses.push_back(dispatch(Item));
-    Out = json::Value(std::move(Responses)).str();
-  } else {
-    Out = dispatch(Parsed).str();
   }
   InflightBytes.fetch_sub(Charge, std::memory_order_acq_rel);
   return Out;
 }
 
 int Server::serveStdio(std::istream &In, std::ostream &Out) {
-  if (Config.Hello)
-    Out << helloBanner(Service.shards(), Service.cacheBudgetBytes(),
-                       Config.MaxInflightBytes)
-               .str()
-        << "\n"
-        << std::flush;
-  std::string Line;
-  while (!shutdownRequested() && std::getline(In, Line)) {
-    if (Line.empty())
-      continue;
-    Out << handleLine(Line) << "\n" << std::flush;
-  }
-  return Out.good() ? 0 : 1;
+  int Code;
+  {
+    DrainWatcher Drain(*this);
+    if (Config.Hello)
+      Out << helloBanner(Service.shards(), Service.cacheBudgetBytes(),
+                         Config.MaxInflightBytes)
+                 .str()
+          << "\n"
+          << std::flush;
+    std::string Line;
+    // A signal mid-getline relies on rapd installing its handlers without
+    // SA_RESTART: the blocked read returns EINTR, the stream fails, and
+    // the loop re-checks the flag. A signal mid-handleLine is the drain
+    // watcher's department.
+    while (!shutdownRequested() && std::getline(In, Line)) {
+      if (Line.empty())
+        continue;
+      Out << handleLine(Line) << "\n" << std::flush;
+    }
+    Code = Out.good() ? 0 : 1;
+  } // joins the watcher: drainDegraded() is final past this point
+  if (Code == 0 && drainDegraded())
+    Code = 3;
+  return Code;
 }
 
 #if RAP_HAVE_UNIX_SOCKETS
 
 namespace {
 
-/// Reads newline-delimited lines from \p Fd (no stdio buffering games:
-/// one connection = one reader thread = one private buffer).
+/// Reads newline-delimited lines from \p Fd (no stdio buffering games: one
+/// connection = one reader thread = one private buffer). poll()-based so a
+/// drain is observed within one 50ms tick even on an idle connection, and
+/// line-capped so a newline-less flood is truncated at Cap+1 bytes (enough
+/// for the server's size check to answer bad-request) instead of buffered.
 class LineReader {
 public:
-  explicit LineReader(int Fd) : Fd(Fd) {}
+  LineReader(int Fd, size_t Cap) : Fd(Fd), Cap(Cap) {}
 
-  bool next(std::string &Line) {
-    Line.clear();
+  /// Blocks until a full line is buffered, EOF (a final unterminated line
+  /// is still delivered), or \p Stop returns true during an idle tick.
+  template <typename StopFn> bool next(std::string &Line, StopFn &&Stop) {
     while (true) {
       size_t NL = Buf.find('\n');
       if (NL != std::string::npos) {
-        Line = Buf.substr(0, NL);
+        Line.assign(Buf, 0, NL);
         Buf.erase(0, NL + 1);
         return true;
       }
-      char Chunk[4096];
-      ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
-      if (N <= 0) {
+      if (Eof) {
         if (Buf.empty())
           return false;
-        Line.swap(Buf); // final unterminated line
+        Line.swap(Buf);
+        Buf.clear();
+        LineLen = 0;
         return true;
       }
-      Buf.append(Chunk, static_cast<size_t>(N));
+      if (Stop())
+        return false;
+      pollfd P{};
+      P.fd = Fd;
+      P.events = POLLIN;
+      int R = ::poll(&P, 1, 50);
+      if (R == 0)
+        continue; // timeout: re-check Stop
+      if (R < 0) {
+        if (errno == EINTR)
+          continue;
+        Eof = true;
+        continue;
+      }
+      char Chunk[4096];
+      ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0) {
+        Eof = true;
+        continue;
+      }
+      ingest(Chunk, static_cast<size_t>(N));
     }
   }
 
 private:
+  void ingest(const char *P, size_t N) {
+    for (size_t I = 0; I != N; ++I) {
+      char C = P[I];
+      if (Discarding) {
+        // Past the cap: drop bytes until the line ends. The kept Cap+1-byte
+        // prefix is the oversize witness handleLine answers bad-request to.
+        if (C == '\n') {
+          Buf.push_back('\n');
+          Discarding = false;
+          LineLen = 0;
+        }
+        continue;
+      }
+      Buf.push_back(C);
+      if (C == '\n')
+        LineLen = 0;
+      else if (++LineLen > Cap)
+        Discarding = true;
+    }
+  }
+
   int Fd;
+  size_t Cap;
   std::string Buf;
+  size_t LineLen = 0; ///< bytes of the unterminated tail line in Buf
+  bool Discarding = false;
+  bool Eof = false;
 };
 
 bool writeAll(int Fd, const std::string &Data) {
   size_t Off = 0;
   while (Off < Data.size()) {
     ssize_t N = ::write(Fd, Data.data() + Off, Data.size() - Off);
+    if (N < 0 && errno == EINTR)
+      continue;
     if (N <= 0)
-      return false;
+      return false; // includes SO_SNDTIMEO expiry: a stuck client loses
+                    // its connection, not the server a thread
     Off += static_cast<size_t>(N);
   }
   return true;
@@ -178,52 +366,57 @@ int Server::serveSocket(const std::string &Path) {
     return 1;
   }
 
-  std::vector<std::thread> Connections;
-  while (!shutdownRequested()) {
-    int Conn = ::accept(Listen, nullptr, nullptr);
-    if (Conn < 0) {
-      if (shutdownRequested())
-        break;
-      continue; // EINTR and friends: keep serving
-    }
-    Connections.emplace_back([this, Conn, Path] {
-      if (Config.Hello)
-        writeAll(Conn, helloBanner(Service.shards(),
-                                   Service.cacheBudgetBytes(),
-                                   Config.MaxInflightBytes)
-                               .str() +
-                           "\n");
-      LineReader Reader(Conn);
-      std::string Line;
-      while (!shutdownRequested() && Reader.next(Line)) {
-        if (Line.empty())
-          continue;
-        if (!writeAll(Conn, handleLine(Line) + "\n"))
-          break;
-      }
-      ::close(Conn);
-      // A shutdown op stops the accept loop, which is blocked in accept():
-      // dial ourselves once to unblock it promptly. (Cheap and portable;
-      // avoids poll/timeout plumbing.)
-      if (shutdownRequested()) {
-        int Poke = ::socket(AF_UNIX, SOCK_STREAM, 0);
-        if (Poke >= 0) {
-          sockaddr_un A{};
-          A.sun_family = AF_UNIX;
-          std::snprintf(A.sun_path, sizeof(A.sun_path), "%s", Path.c_str());
-          ::connect(Poke, reinterpret_cast<sockaddr *>(&A), sizeof(A));
-          ::close(Poke);
+  {
+    DrainWatcher Drain(*this);
+    std::vector<std::thread> Connections;
+    // poll()ed accept: a shutdown request (op, SIGTERM, SIGINT) stops
+    // admission within one 50ms tick — no self-dial tricks needed.
+    while (!shutdownRequested()) {
+      pollfd P{};
+      P.fd = Listen;
+      P.events = POLLIN;
+      int R = ::poll(&P, 1, 50);
+      if (R <= 0)
+        continue; // timeout or EINTR: re-check the shutdown flag
+      int Conn = ::accept(Listen, nullptr, nullptr);
+      if (Conn < 0)
+        continue;
+      // Bound writes so a client that stops reading cannot wedge its
+      // serving thread past any drain deadline.
+      timeval SendTimeout{};
+      SendTimeout.tv_sec = 5;
+      ::setsockopt(Conn, SOL_SOCKET, SO_SNDTIMEO, &SendTimeout,
+                   sizeof(SendTimeout));
+      Connections.emplace_back([this, Conn] {
+        if (Config.Hello)
+          writeAll(Conn, helloBanner(Service.shards(),
+                                     Service.cacheBudgetBytes(),
+                                     Config.MaxInflightBytes)
+                                 .str() +
+                             "\n");
+        LineReader Reader(Conn, Config.MaxLineBytes);
+        std::string Line;
+        // Admission is the read: once the shutdown flag is up, no further
+        // line is taken off this connection, but the line being served
+        // right now finishes (or is cancelled by the drain watcher) and
+        // its response is written — responses per connection form a
+        // contiguous prefix of the requests sent.
+        while (!shutdownRequested() &&
+               Reader.next(Line, [this] { return shutdownRequested(); })) {
+          if (Line.empty())
+            continue;
+          if (!writeAll(Conn, handleLine(Line) + "\n"))
+            break;
         }
-      }
-    });
-    if (shutdownRequested())
-      break;
-  }
-  ::close(Listen);
-  ::unlink(Path.c_str());
-  for (std::thread &T : Connections)
-    T.join();
-  return 0;
+        ::close(Conn);
+      });
+    }
+    ::close(Listen);
+    ::unlink(Path.c_str());
+    for (std::thread &T : Connections)
+      T.join();
+  } // joins the watcher: drainDegraded() is final past this point
+  return drainDegraded() ? 3 : 0;
 }
 
 #else // !RAP_HAVE_UNIX_SOCKETS

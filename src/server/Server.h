@@ -17,8 +17,22 @@
 ///     compiler. The charge is released when the response is written.
 ///     Bounded memory is part of the crash-free contract — a flood of
 ///     megabyte sources degrades to rejections, not OOM.
+///   * Line caps. A single line longer than MaxLineBytes is answered with a
+///     stable "bad-request" (the socket reader truncates and discards the
+///     excess, so a newline-less flood costs bounded memory too).
 ///   * Batches. A line carrying a JSON array is served as one admission
 ///     unit: responses come back as an array in request order.
+///
+/// Crash-only serving (DESIGN.md §13) adds graceful drain: a shutdown op,
+/// SIGTERM, or SIGINT (the latter two via the StopFlag the rapd main
+/// installs) stops both front ends from admitting new lines; in-flight
+/// requests get DrainMs to finish, after which the drain watcher cancels
+/// the DrainKill token — the parent of every request token — and every
+/// remaining compilation aborts at its next cooperative check, answering
+/// "cancelled". Every admitted line gets exactly one well-formed response,
+/// drained or not. The serve loops return 0 on a clean drain and 3 when the
+/// drain deadline had to cancel work (the degraded-exit convention rapcc
+/// established).
 ///
 /// Determinism: responses embed no timestamps or thread ids, so a request
 /// trace replayed against any shard count yields byte-identical response
@@ -33,10 +47,13 @@
 #include "server/Protocol.h"
 
 #include <atomic>
+#include <condition_variable>
+#include <csignal>
 #include <cstdint>
 #include <iosfwd>
 #include <mutex>
 #include <string>
+#include <thread>
 
 namespace rap {
 namespace server {
@@ -45,30 +62,54 @@ struct ServerConfig {
   ServiceConfig Service;
   /// Admission budget: total request bytes being parsed/compiled at once.
   size_t MaxInflightBytes = 64u << 20;
+  /// Longest single NDJSON line the server accepts; longer lines answer
+  /// "bad-request" without being parsed (and without being buffered whole).
+  size_t MaxLineBytes = 8u << 20;
   /// The retry hint sent with "overloaded" rejections.
   unsigned RetryAfterMs = 50;
+  /// Grace window between a shutdown request and the drain-kill cancel of
+  /// whatever is still in flight.
+  unsigned DrainMs = 2000;
   /// Print the {"rapd":"v1",...} banner before serving (both transports).
   bool Hello = true;
+  /// Signal-handler flag (rapd's SIGTERM/SIGINT handler flips it). The
+  /// serve loops poll it via shutdownRequested(); null = protocol-only
+  /// shutdown. volatile sig_atomic_t is the only type a strict-ISO signal
+  /// handler may write, hence the odd pointer type.
+  const volatile std::sig_atomic_t *StopFlag = nullptr;
 };
 
 class Server {
 public:
   explicit Server(const ServerConfig &Config);
 
-  /// Serves NDJSON over \p In/\p Out until EOF or a shutdown op.
-  /// Returns the process exit code (0 clean, 1 transport failure).
+  /// Serves NDJSON over \p In/\p Out until EOF or a shutdown request.
+  /// Returns the process exit code (0 clean drain, 1 transport failure,
+  /// 3 drain deadline hit with work still in flight).
   int serveStdio(std::istream &In, std::ostream &Out);
 
   /// Binds \p Path (unlinking a stale socket first) and serves until a
-  /// shutdown op arrives on any connection. One thread per connection.
+  /// shutdown request. One thread per connection; the accept and read
+  /// loops poll at ~50ms so a drain is observed promptly. Same exit code
+  /// contract as serveStdio.
   int serveSocket(const std::string &Path);
 
   /// One request line -> one response line (no trailing newline). Handles
-  /// admission, batch splitting, parsing, and dispatch. Thread-safe.
+  /// the line cap, admission, batch splitting, parsing, and dispatch.
+  /// Thread-safe; never throws (internal failures answer "internal-error").
   std::string handleLine(const std::string &Line);
 
+  /// Shutdown op received, or the installed signal flag flipped.
   bool shutdownRequested() const {
-    return Shutdown.load(std::memory_order_acquire);
+    if (Shutdown.load(std::memory_order_acquire))
+      return true;
+    return Config.StopFlag && *Config.StopFlag != 0;
+  }
+
+  /// True once the drain deadline passed with requests still in flight
+  /// (the serve loop then exits 3).
+  bool drainDegraded() const {
+    return DrainDegradedFlag.load(std::memory_order_acquire);
   }
 
   CompileService &service() { return Service; }
@@ -82,14 +123,48 @@ public:
 
 private:
   json::Value dispatch(const json::Value &Parsed);
+  /// Thread-safe countdown on the transport-layer chaos sites (parse /
+  /// mid-request shutdown); shares the plan with the service's injector but
+  /// counts its own sites.
+  bool chaosFires(FaultSite S);
+  /// Wires DrainKill in as the service's stop token (must run after
+  /// DrainKill exists, hence the helper called from the init list).
+  const ServiceConfig &patchedServiceConfig();
+
+  /// The drain protocol, shared by both serve loops: a watcher thread
+  /// sleeps until shutdownRequested(), gives in-flight requests DrainMs,
+  /// then cancels DrainKill and marks the drain degraded. RAII-stopped.
+  class DrainWatcher {
+  public:
+    explicit DrainWatcher(Server &S);
+    ~DrainWatcher();
+
+  private:
+    void run();
+    Server &S;
+    std::thread T;
+  };
 
   ServerConfig Config;
+  /// Parent of every request token: cancelled exactly once, by the drain
+  /// watcher, when the drain deadline passes. Declared before Service so
+  /// its address is valid when the service config is patched.
+  CancelToken DrainKill;
   CompileService Service;
   std::atomic<uint64_t> Rejected{0};
   std::atomic<size_t> InflightBytes{0};
   std::atomic<bool> Shutdown{false};
+  std::atomic<unsigned> ActiveRequests{0};
+  std::atomic<bool> DrainDegradedFlag{false};
   mutable std::mutex StatsM;
   AllocStats TotalAlloc;
+  std::mutex ChaosM;
+  FaultInjector Chaos;
+  // Drain-watcher parking: the serve loop notifies on exit so the watcher
+  // never outlives it.
+  std::mutex WatcherM;
+  std::condition_variable WatcherCV;
+  bool WatcherExit = false;
 };
 
 } // namespace server

@@ -6,12 +6,14 @@
 
 #include "server/ShardPool.h"
 
+#include <algorithm>
 #include <chrono>
 
 using namespace rap;
 using namespace rap::server;
 
-ShardPool::ShardPool(unsigned NumShards) {
+ShardPool::ShardPool(unsigned NumShards, const WatchdogConfig &Watchdog)
+    : Watchdog(Watchdog) {
   if (NumShards == 0)
     NumShards = 1;
   Shards.reserve(NumShards);
@@ -20,6 +22,8 @@ ShardPool::ShardPool(unsigned NumShards) {
   Workers.reserve(NumShards);
   for (unsigned I = 0; I != NumShards; ++I)
     Workers.emplace_back([this, I] { workerLoop(I); });
+  if (Watchdog.Factor > 0)
+    WatchdogThread = std::thread([this] { watchdogLoop(); });
 }
 
 ShardPool::~ShardPool() {
@@ -30,20 +34,23 @@ ShardPool::~ShardPool() {
   SleepCV.notify_all();
   for (std::thread &W : Workers)
     W.join();
+  if (WatchdogThread.joinable())
+    WatchdogThread.join();
 }
 
-void ShardPool::submit(size_t Hint, Task T, TaskGroup *Group) {
+void ShardPool::submit(size_t Hint, Task T, TaskGroup *Group,
+                       const CancelToken *Token) {
   Shard &S = *Shards[Hint % Shards.size()];
   {
     std::lock_guard<std::mutex> Lock(S.M);
-    S.Q.emplace_back(std::move(T), Group);
+    S.Q.push_back(QueueItem{std::move(T), Group, Token});
     if (S.Q.size() > S.DepthMax)
       S.DepthMax = S.Q.size();
   }
   SleepCV.notify_one();
 }
 
-bool ShardPool::takeOwn(unsigned Self, std::pair<Task, TaskGroup *> &Out) {
+bool ShardPool::takeOwn(unsigned Self, QueueItem &Out) {
   Shard &S = *Shards[Self];
   std::lock_guard<std::mutex> Lock(S.M);
   if (S.Q.empty())
@@ -53,7 +60,7 @@ bool ShardPool::takeOwn(unsigned Self, std::pair<Task, TaskGroup *> &Out) {
   return true;
 }
 
-bool ShardPool::stealFrom(unsigned Victim, std::pair<Task, TaskGroup *> &Out) {
+bool ShardPool::stealFrom(unsigned Victim, QueueItem &Out) {
   Shard &S = *Shards[Victim];
   std::lock_guard<std::mutex> Lock(S.M);
   if (S.Q.empty())
@@ -65,7 +72,8 @@ bool ShardPool::stealFrom(unsigned Victim, std::pair<Task, TaskGroup *> &Out) {
 
 void ShardPool::workerLoop(unsigned Self) {
   const unsigned N = static_cast<unsigned>(Shards.size());
-  std::pair<Task, TaskGroup *> Item;
+  Shard &Own = *Shards[Self];
+  QueueItem Item;
   while (true) {
     bool Got = takeOwn(Self, Item);
     bool Stole = false;
@@ -78,20 +86,50 @@ void ShardPool::workerLoop(unsigned Self) {
       }
     }
     if (Got) {
-      try {
-        Item.first();
-      } catch (...) {
-        // Tasks own their failures (the service catches per function); a
-        // leak here must not take down the worker or hang the barrier.
+      // Backstop skip: a task whose request already stopped (deadline hit
+      // or drain cancel while it sat queued) is not worth starting — the
+      // allocator would only throw at its first round boundary anyway.
+      bool Skip = Item.Token && Item.Token->stopRequested();
+      if (!Skip) {
+        // Register for the watchdog. Runs in the executing worker's own
+        // shard slot regardless of which deque the task came from.
+        {
+          std::lock_guard<std::mutex> Lock(Own.M);
+          Own.RunningSet = true;
+          Own.RunningToken = Item.Token;
+          Own.RunningSince = std::chrono::steady_clock::now();
+          Own.Tripped = false;
+        }
+        try {
+          Item.Work();
+        } catch (...) {
+          // Tasks own their failures (the service catches per function); a
+          // leak here must not take down the worker or hang the barrier.
+        }
+        {
+          // Clear the registration *before* releasing the barrier: the
+          // token lives at least until the barrier releases, so the
+          // watchdog (which reads under this same mutex) can never see a
+          // dangling pointer.
+          std::lock_guard<std::mutex> Lock(Own.M);
+          Own.RunningSet = false;
+          Own.RunningToken = nullptr;
+          Own.Degraded = false; // the wedged task, if any, just completed
+          Own.Tripped = false;
+        }
       }
-      if (Item.second)
-        Item.second->done();
-      Item.first = nullptr;
       {
+        // Fold stats *before* releasing the barrier so a waiter that reads
+        // the counters right after wait() sees this task accounted for.
         std::lock_guard<std::mutex> Lock(StatsM);
-        ++Run;
-        Stolen += Stole;
+        Run += !Skip;
+        Skipped += Skip;
+        Stolen += Stole && !Skip;
       }
+      if (Item.Group)
+        Item.Group->done();
+      Item.Work = nullptr;
+      Item.Token = nullptr;
       continue;
     }
     // Nothing anywhere: park until a submit or shutdown. Re-check the
@@ -116,6 +154,45 @@ void ShardPool::workerLoop(unsigned Self) {
   }
 }
 
+void ShardPool::watchdogLoop() {
+  using Clock = std::chrono::steady_clock;
+  const auto Poll = std::chrono::milliseconds(
+      Watchdog.PollMs ? Watchdog.PollMs : 1);
+  while (true) {
+    {
+      // Reuse the sleep channel for a cancellable wait; a spurious wake
+      // just means one extra scan.
+      std::unique_lock<std::mutex> Lock(SleepM);
+      if (Stopping)
+        return;
+      SleepCV.wait_for(Lock, Poll, [&] { return Stopping; });
+      if (Stopping)
+        return;
+    }
+    Clock::time_point Now = Clock::now();
+    for (const auto &SP : Shards) {
+      Shard &S = *SP;
+      std::lock_guard<std::mutex> Lock(S.M);
+      if (!S.RunningSet || S.Tripped || !S.RunningToken)
+        continue;
+      const Deadline &D = S.RunningToken->deadline();
+      if (!D.armed())
+        continue; // no budget to scale: never tripped
+      // Budget = what the request had left when the task started, floored
+      // at one poll tick so a task admitted moments before (or after) its
+      // deadline cannot false-trip while it runs its cooperative checks.
+      auto Budget = std::max<Clock::duration>(D.when() - S.RunningSince,
+                                              Poll);
+      if (Now - S.RunningSince > Budget * Watchdog.Factor) {
+        S.Tripped = true;
+        S.Degraded = true;
+        std::lock_guard<std::mutex> SL(StatsM);
+        ++Trips;
+      }
+    }
+  }
+}
+
 uint64_t ShardPool::queueDepthMax() const {
   uint64_t Max = 0;
   for (const auto &S : Shards) {
@@ -134,4 +211,23 @@ uint64_t ShardPool::tasksStolen() const {
 uint64_t ShardPool::tasksRun() const {
   std::lock_guard<std::mutex> Lock(StatsM);
   return Run;
+}
+
+uint64_t ShardPool::tasksSkipped() const {
+  std::lock_guard<std::mutex> Lock(StatsM);
+  return Skipped;
+}
+
+uint64_t ShardPool::watchdogTrips() const {
+  std::lock_guard<std::mutex> Lock(StatsM);
+  return Trips;
+}
+
+unsigned ShardPool::shardsDegraded() const {
+  unsigned N = 0;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->M);
+    N += S->Degraded;
+  }
+  return N;
 }

@@ -20,10 +20,26 @@
 /// discipline allocateProgramChecked established — so any interleaving
 /// produces identical output. TaskGroup provides the wait barrier.
 ///
+/// Crash-only serving (DESIGN.md §13) adds two pieces:
+///
+///   * Tasks may register the request's CancelToken at submit time. A
+///     skipped task (token already stopped when a worker picks it up) is
+///     never run — the submitter's own pre-checks make the common case
+///     cheap, this is the backstop — but its TaskGroup is always released.
+///   * A watchdog thread samples every shard's running task. A task that
+///     overstays WatchdogFactor x its token's deadline budget has, by
+///     definition, ignored its cooperative cancellation points; the
+///     watchdog cannot preempt it, but it marks the shard degraded (sticky
+///     until that task finally completes) and counts a trip, so operators
+///     see wedged workers in the `server` stats section instead of
+///     wondering where their capacity went.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RAP_SERVER_SHARDPOOL_H
 #define RAP_SERVER_SHARDPOOL_H
+
+#include "support/Deadline.h"
 
 #include <condition_variable>
 #include <cstddef>
@@ -65,13 +81,27 @@ private:
   size_t Pending = 0;
 };
 
+/// Watchdog tuning. Factor 0 disables the watchdog thread entirely (unit
+/// tests and benches that want a quiet pool).
+struct WatchdogConfig {
+  /// A running task trips the watchdog once it has been running longer than
+  /// Factor x its deadline budget (deadline minus task start, floored at
+  /// one poll interval so an already-expired token cannot false-trip).
+  /// Tasks without an armed deadline are never tripped — there is no
+  /// budget to scale.
+  unsigned Factor = 4;
+  /// Sampling cadence of the watchdog thread.
+  unsigned PollMs = 5;
+};
+
 class ShardPool {
 public:
   using Task = std::function<void()>;
 
   /// Spawns \p NumShards workers (at least 1). Shard count is the server's
   /// --shards knob; the deterministic-output contract holds at any value.
-  explicit ShardPool(unsigned NumShards);
+  explicit ShardPool(unsigned NumShards,
+                     const WatchdogConfig &Watchdog = WatchdogConfig());
   ~ShardPool();
 
   ShardPool(const ShardPool &) = delete;
@@ -81,7 +111,12 @@ public:
   /// \p Group is given it must have been expect()ed already; the pool calls
   /// done() after the task runs (even if it throws — tasks are expected to
   /// contain their own failures, but a throw must not hang the barrier).
-  void submit(size_t Hint, Task T, TaskGroup *Group = nullptr);
+  /// \p Token, when given, must outlive the task (the submitter's barrier
+  /// guarantees this): a task whose token already requests stop is skipped
+  /// — its Group still released — and a running task's token deadline is
+  /// what the watchdog measures against.
+  void submit(size_t Hint, Task T, TaskGroup *Group = nullptr,
+              const CancelToken *Token = nullptr);
 
   unsigned shards() const { return static_cast<unsigned>(Shards.size()); }
 
@@ -91,20 +126,47 @@ public:
   /// proves stealing actually happens under skewed load).
   uint64_t tasksStolen() const;
   uint64_t tasksRun() const;
+  /// Tasks never run because their cancel token had already stopped when a
+  /// worker picked them up (their barriers were still released).
+  uint64_t tasksSkipped() const;
+  /// Times the watchdog caught a worker overstaying its deadline budget.
+  uint64_t watchdogTrips() const;
+  /// Shards currently marked degraded (a tripped task still running).
+  unsigned shardsDegraded() const;
 
 private:
+  struct QueueItem {
+    Task Work;
+    TaskGroup *Group = nullptr;
+    const CancelToken *Token = nullptr;
+  };
+
   struct Shard {
     std::mutex M;
-    std::deque<std::pair<Task, TaskGroup *>> Q;
+    std::deque<QueueItem> Q;
     uint64_t DepthMax = 0;
+
+    // Running-task registration, written by the worker and read by the
+    // watchdog, both under M. RunningToken is only valid while RunningSet;
+    // the worker clears it (under M) before releasing the task's barrier,
+    // so the watchdog can never observe a dangling token.
+    bool RunningSet = false;
+    const CancelToken *RunningToken = nullptr;
+    std::chrono::steady_clock::time_point RunningSince{};
+    bool Tripped = false;  ///< this running task already counted a trip
+    bool Degraded = false; ///< sticky until the tripped task completes
   };
 
   void workerLoop(unsigned Self);
-  bool takeOwn(unsigned Self, std::pair<Task, TaskGroup *> &Out);
-  bool stealFrom(unsigned Victim, std::pair<Task, TaskGroup *> &Out);
+  void watchdogLoop();
+  bool takeOwn(unsigned Self, QueueItem &Out);
+  bool stealFrom(unsigned Victim, QueueItem &Out);
 
   std::vector<std::unique_ptr<Shard>> Shards;
   std::vector<std::thread> Workers;
+
+  WatchdogConfig Watchdog;
+  std::thread WatchdogThread;
 
   // One pool-wide sleep channel: workers park here when every deque is
   // empty. Simpler than per-shard wakeups and plenty for the server's
@@ -116,6 +178,8 @@ private:
   mutable std::mutex StatsM;
   uint64_t Stolen = 0;
   uint64_t Run = 0;
+  uint64_t Skipped = 0;
+  uint64_t Trips = 0;
 };
 
 } // namespace server

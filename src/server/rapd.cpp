@@ -5,8 +5,8 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// rapd: the persistent compile service (DESIGN.md §12). Speaks the rapd-v1
-/// newline-delimited JSON protocol on stdin/stdout (default) or a
+/// rapd: the persistent compile service (DESIGN.md §12-13). Speaks the
+/// rapd-v1 newline-delimited JSON protocol on stdin/stdout (default) or a
 /// Unix-domain socket, memoizes per-function allocations in a content-hash
 /// cache, and fans cache misses out over a work-stealing shard pool.
 ///
@@ -18,23 +18,38 @@
 ///                             256MiB; 0 disables caching — the cold path)
 ///     --max-inflight-bytes=N  admission budget: reject once this many
 ///                             request bytes are in flight (default 64MiB)
+///     --max-line-bytes=N      longest accepted NDJSON line (default 8MiB;
+///                             longer lines answer "bad-request")
 ///     --retry-after-ms=N      hint sent with "overloaded" rejections
 ///                             (default 50)
+///     --drain-ms=N            grace window for in-flight requests after a
+///                             shutdown request before they are cancelled
+///                             (default 2000)
+///     --chaos=PLAN            deterministic server-layer fault schedule
+///                             (RAP_FAULT_INJECT syntax, sites
+///                             parse|cache-insert|stall|shutdown)
 ///     --no-hello              skip the {"rapd":"v1",...} startup banner
 ///     --stats[=text|json]     after serving ends, print a rap-stats-v1
 ///                             document with the aggregated allocation
 ///                             ledger and the "server" counter section
 ///                             (text -> stderr, json -> stdout)
 ///
-/// Exit codes: 0 clean shutdown (EOF or "shutdown" op), 1 transport/I-O
-/// failure, 2 usage error. Compile errors never change the exit code —
-/// they are responses, not failures of the server.
+/// SIGTERM and SIGINT start a graceful drain: admission stops, in-flight
+/// requests get --drain-ms to finish, then the drain-kill token cancels
+/// whatever remains (those requests answer "cancelled" — no response is
+/// ever lost). Exit codes: 0 clean drain (EOF, "shutdown" op, or signal
+/// with nothing left running), 1 transport/I-O failure, 2 usage error,
+/// 3 the drain deadline passed with requests still in flight (served
+/// degraded — the same convention as rapcc's degraded exit). Compile
+/// errors never change the exit code — they are responses, not failures
+/// of the server.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "driver/Report.h"
 #include "server/Server.h"
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -45,13 +60,39 @@ using namespace rap::server;
 
 namespace {
 
+/// The only thing a strict-ISO signal handler may write. The serve loops
+/// poll it; the drain watcher turns it into a cooperative cancellation.
+volatile std::sig_atomic_t StopFlag = 0;
+
+void onStopSignal(int) { StopFlag = 1; }
+
+/// Installed WITHOUT SA_RESTART on purpose: a signal must make blocked
+/// reads (stdio getline, socket poll) return EINTR so the serve loops
+/// re-check the flag instead of sleeping through the drain window.
+void installStopHandlers() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onStopSignal;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0; // no SA_RESTART
+  sigaction(SIGTERM, &SA, nullptr);
+  sigaction(SIGINT, &SA, nullptr);
+#else
+  std::signal(SIGTERM, onStopSignal);
+  std::signal(SIGINT, onStopSignal);
+#endif
+}
+
 void usage() {
   std::fprintf(
       stderr,
       "usage: rapd [--socket=PATH] [--shards=N] [--cache-bytes=N]\n"
-      "            [--max-inflight-bytes=N] [--retry-after-ms=N]\n"
+      "            [--max-inflight-bytes=N] [--max-line-bytes=N]\n"
+      "            [--retry-after-ms=N] [--drain-ms=N] [--chaos=PLAN]\n"
       "            [--no-hello] [--stats[=text|json]]\n"
-      "exit codes: 0 clean shutdown, 1 transport failure, 2 usage\n");
+      "exit codes: 0 clean drain, 1 transport failure, 2 usage,\n"
+      "            3 drain deadline hit (in-flight work cancelled)\n");
 }
 
 bool parseSize(const char *S, size_t &Out) {
@@ -96,6 +137,12 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "rapd: bad --max-inflight-bytes value\n");
         return 2;
       }
+    } else if (std::strncmp(Arg, "--max-line-bytes=", 17) == 0) {
+      if (!parseSize(Arg + 17, Config.MaxLineBytes) ||
+          Config.MaxLineBytes == 0) {
+        std::fprintf(stderr, "rapd: bad --max-line-bytes value\n");
+        return 2;
+      }
     } else if (std::strncmp(Arg, "--retry-after-ms=", 17) == 0) {
       size_t N = 0;
       if (!parseSize(Arg + 17, N) || N == 0) {
@@ -103,6 +150,20 @@ int main(int argc, char **argv) {
         return 2;
       }
       Config.RetryAfterMs = static_cast<unsigned>(N);
+    } else if (std::strncmp(Arg, "--drain-ms=", 11) == 0) {
+      size_t N = 0;
+      if (!parseSize(Arg + 11, N)) {
+        std::fprintf(stderr, "rapd: bad --drain-ms value\n");
+        return 2;
+      }
+      Config.DrainMs = static_cast<unsigned>(N);
+    } else if (std::strncmp(Arg, "--chaos=", 8) == 0) {
+      try {
+        Config.Service.Chaos = FaultPlan::fromString(Arg + 8);
+      } catch (const std::invalid_argument &E) {
+        std::fprintf(stderr, "rapd: bad --chaos plan: %s\n", E.what());
+        return 2;
+      }
     } else if (std::strcmp(Arg, "--no-hello") == 0) {
       Config.Hello = false;
     } else if (std::strcmp(Arg, "--stats") == 0) {
@@ -120,6 +181,9 @@ int main(int argc, char **argv) {
       return 2;
     }
   }
+
+  installStopHandlers();
+  Config.StopFlag = &StopFlag;
 
   Server S(Config);
   int Code = SocketPath.empty() ? S.serveStdio(std::cin, std::cout)
@@ -142,6 +206,11 @@ int main(int argc, char **argv) {
     Meta.Server.CacheBytes = C.CacheBytes;
     Meta.Server.QueueDepthMax = C.QueueDepthMax;
     Meta.Server.RejectedRequests = S.rejectedRequests();
+    Meta.Server.DeadlineExceeded = C.DeadlineExceeded;
+    Meta.Server.Cancelled = C.Cancelled;
+    Meta.Server.WatchdogTrips = C.WatchdogTrips;
+    Meta.Server.DrainMs = S.config().DrainMs;
+    Meta.Server.DrainDegraded = S.drainDegraded();
     if (StatsMode == "json")
       std::printf("%s\n", statsJson(Summary, Meta).str(2).c_str());
     else

@@ -1,0 +1,133 @@
+//===- support/Deadline.h - Deadlines and cooperative cancel ----*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The crash-only serving layer's time substrate: an absolute monotonic
+/// Deadline and a CancelToken that combines it with an explicit cooperative
+/// cancellation flag. One token is created per server request (armed from
+/// the protocol's `deadline_ms`) and threaded — by const pointer — through
+/// CompileService, the ShardPool tasks, and the allocators' round-boundary
+/// guard checks, unifying the per-request deadline with the pre-existing
+/// AllocOptions::MaxAllocSeconds wall-clock guard: both surface as
+/// AllocError and both leave the function recoverable via the
+/// spill-everything fallback.
+///
+/// Tokens chain: a request token may name a parent (the server's drain-kill
+/// token), so one cancel() at the server flips every in-flight request at
+/// its next check. Checks are wait-free — one relaxed atomic load plus, when
+/// a deadline is armed, one steady_clock read — cheap enough for allocator
+/// round boundaries.
+///
+/// Cancellation is strictly cooperative: nothing is preempted. Code that
+/// ignores its token is the ShardPool watchdog's department.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_SUPPORT_DEADLINE_H
+#define RAP_SUPPORT_DEADLINE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace rap {
+
+/// An absolute point on the monotonic clock, or "never" (default). Copyable
+/// and cheap; expiry is a pure function of the clock, so once expired() is
+/// true it stays true.
+class Deadline {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default; ///< unarmed: never expires
+
+  static Deadline afterMs(uint64_t Ms) {
+    return Deadline(Clock::now() + std::chrono::milliseconds(Ms));
+  }
+  static Deadline afterSeconds(double Seconds) {
+    return Deadline(Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(Seconds)));
+  }
+  static Deadline at(Clock::time_point TP) { return Deadline(TP); }
+
+  bool armed() const { return Armed; }
+  bool expired() const { return Armed && Clock::now() > At; }
+
+  /// Seconds until expiry (negative once past); +inf-ish when unarmed.
+  double remainingSeconds() const {
+    if (!Armed)
+      return 1e18;
+    return std::chrono::duration<double>(At - Clock::now()).count();
+  }
+
+  Clock::time_point when() const { return At; }
+
+private:
+  explicit Deadline(Clock::time_point TP) : At(TP), Armed(true) {}
+
+  Clock::time_point At{};
+  bool Armed = false;
+};
+
+/// A cooperative stop signal: explicit cancel() (sticky), an optional
+/// Deadline, and an optional parent token (checked transitively). Shared by
+/// address; the creator owns the storage and must outlive every checker —
+/// the server guarantees this with its request barrier (a request's tasks
+/// all complete before its ServiceResult, and therefore its token, is
+/// destroyed).
+class CancelToken {
+public:
+  CancelToken() = default;
+  explicit CancelToken(Deadline D, const CancelToken *Parent = nullptr)
+      : D(D), Parent(Parent) {}
+
+  /// Sticky; safe from any thread, including a signal-adjacent drain
+  /// watcher. (Not async-signal-safe itself — real handlers flip a
+  /// sig_atomic_t and a watcher thread calls this.)
+  void cancel() { Cancelled.store(true, std::memory_order_release); }
+
+  /// Explicit cancellation, own or inherited.
+  bool cancelled() const {
+    if (Cancelled.load(std::memory_order_acquire))
+      return true;
+    return Parent && Parent->cancelled();
+  }
+
+  /// Deadline expiry, own or inherited (a parent's deadline bounds its
+  /// children).
+  bool expired() const {
+    if (D.expired())
+      return true;
+    return Parent && Parent->expired();
+  }
+
+  /// The one check hot paths make at round boundaries.
+  bool stopRequested() const { return cancelled() || expired(); }
+
+  const Deadline &deadline() const { return D; }
+
+  /// Stable machine-readable reason, aligned with the protocol's response
+  /// kinds. Deadline expiry wins over explicit cancel: a request that ran
+  /// out of its own budget reports "deadline-exceeded" even if a drain
+  /// cancel also arrived. Empty string when no stop was requested.
+  const char *reason() const {
+    if (expired())
+      return "deadline-exceeded";
+    if (cancelled())
+      return "cancelled";
+    return "";
+  }
+
+private:
+  std::atomic<bool> Cancelled{false};
+  Deadline D;
+  const CancelToken *Parent = nullptr;
+};
+
+} // namespace rap
+
+#endif // RAP_SUPPORT_DEADLINE_H

@@ -232,6 +232,11 @@ TEST(StatsSchema, ServerSectionOnlyWhenServing) {
   Meta.Server.CacheBytes = 4096;
   Meta.Server.QueueDepthMax = 5;
   Meta.Server.RejectedRequests = 1;
+  Meta.Server.DeadlineExceeded = 7;
+  Meta.Server.Cancelled = 2;
+  Meta.Server.WatchdogTrips = 1;
+  Meta.Server.DrainMs = 2000;
+  Meta.Server.DrainDegraded = true;
   json::Value Doc;
   ASSERT_TRUE(json::parse(statsJson(CR, Meta).str(2), Doc, &Error)) << Error;
   ASSERT_TRUE(Doc["server"].isObject());
@@ -241,10 +246,17 @@ TEST(StatsSchema, ServerSectionOnlyWhenServing) {
   EXPECT_EQ(S["cache_bytes"].asInt(), 4096);
   EXPECT_EQ(S["queue_depth_max"].asInt(), 5);
   EXPECT_EQ(S["rejected_requests"].asInt(), 1);
+  // The crash-only serving counters (DESIGN.md §13).
+  EXPECT_EQ(S["deadline_exceeded"].asInt(), 7);
+  EXPECT_EQ(S["cancelled"].asInt(), 2);
+  EXPECT_EQ(S["watchdog_trips"].asInt(), 1);
+  EXPECT_EQ(S["drain_ms"].asInt(), 2000);
+  EXPECT_TRUE(S["drain_degraded"].asBool());
   expectNoNulls(Doc["server"], "$.server");
 
   std::string Text = statsText(CR, Meta);
   EXPECT_NE(Text.find("server: cache hits=12 misses=3"), std::string::npos);
+  EXPECT_NE(Text.find("server-drain: deadline-exceeded=7"), std::string::npos);
 }
 
 //===----------------------------------------------------------------------===//
