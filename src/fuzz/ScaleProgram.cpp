@@ -1,0 +1,322 @@
+//===- fuzz/ScaleProgram.cpp - Seeded scale-program generator ---------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/ScaleProgram.h"
+
+using namespace rap::fuzz;
+
+void ScaleProgramBuilder::line(const std::string &S) {
+  Out += std::string(static_cast<size_t>(Indent) * 2, ' ') + S + "\n";
+}
+
+void ScaleProgramBuilder::resetPerFunction() {
+  Vars.clear();
+  LoopVars.clear();
+  NextLoopVar = 0;
+  NextTemp = 0;
+}
+
+std::string ScaleProgramBuilder::safeIndex() {
+  if (!LoopVars.empty() && pick(2))
+    return LoopVars[pick(static_cast<unsigned>(LoopVars.size()))];
+  return std::to_string(pick(12));
+}
+
+std::string ScaleProgramBuilder::expr(unsigned Depth) {
+  unsigned Kind = pick(Depth == 0 ? 3u : 6u);
+  switch (Kind) {
+  case 0:
+    return std::to_string(static_cast<int>(Rng() % 40) - 20);
+  case 1:
+  case 2:
+    if (Vars.empty())
+      return std::to_string(static_cast<int>(Rng() % 10));
+    return Vars[pick(static_cast<unsigned>(Vars.size()))];
+  case 3: {
+    const char *Ops[] = {" + ", " - ", " * "};
+    return "(" + expr(Depth - 1) + Ops[pick(3)] + expr(Depth - 1) + ")";
+  }
+  case 4:
+    return (pick(2) ? "ga[" : "gb[") + safeIndex() + "]";
+  default:
+    return "(" + expr(Depth - 1) + " / " + std::to_string(2 + pick(7)) + ")";
+  }
+}
+
+std::string ScaleProgramBuilder::cond() {
+  const char *Rel[] = {" < ", " <= ", " > ", " >= ", " == ", " != "};
+  return "(" + expr(1) + Rel[pick(6)] + expr(1) + ")";
+}
+
+void ScaleProgramBuilder::emitStmt(unsigned Depth, bool AllowCalls) {
+  unsigned Kind = pick(Depth == 0 ? 4u : 7u);
+  switch (Kind) {
+  case 0: // scalar assignment
+    if (Vars.empty())
+      return;
+    line(Vars[pick(static_cast<unsigned>(Vars.size()))] + " = " + expr(2) +
+         ";");
+    return;
+  case 1: // array store, index always in bounds
+    line((pick(2) ? "ga[" : "gb[") + safeIndex() + "] = " + expr(2) + ";");
+    return;
+  case 2: // global accumulate
+    line("gs = gs + " + expr(2) + ";");
+    return;
+  case 3: { // call a leaf / bounded recursion / mix — only where allowed
+    if (!AllowCalls || (Leaves.empty() && Recs.empty())) {
+      std::string T = "t" + std::to_string(NextTemp++);
+      line("int " + T + " = " + expr(2) + ";");
+      line("gs = gs + " + T + ";");
+      return;
+    }
+    std::string Call;
+    if (!Recs.empty() && pick(3) == 0)
+      Call = Recs[pick(static_cast<unsigned>(Recs.size()))] + "(" +
+             std::to_string(2 + pick(5)) + ")";
+    else if (!Leaves.empty())
+      Call = Leaves[pick(static_cast<unsigned>(Leaves.size()))] + "(" +
+             expr(1) + ", " + expr(1) + ")";
+    else
+      Call = "mix(" + expr(1) + ", " + expr(1) + ")";
+    if (!Vars.empty() && pick(2))
+      line(Vars[pick(static_cast<unsigned>(Vars.size()))] + " = " + Call +
+           ";");
+    else
+      line("gs = gs + " + Call + ";");
+    return;
+  }
+  case 4: { // if / if-else
+    line("if " + cond() + " {");
+    ++Indent;
+    unsigned N = 1 + pick(3);
+    for (unsigned I = 0; I != N; ++I)
+      emitStmt(Depth - 1, AllowCalls);
+    --Indent;
+    if (pick(2)) {
+      line("} else {");
+      ++Indent;
+      N = 1 + pick(2);
+      for (unsigned I = 0; I != N; ++I)
+        emitStmt(Depth - 1, AllowCalls);
+      --Indent;
+    }
+    line("}");
+    return;
+  }
+  case 5: { // counted for loop; calls stay out of loop bodies so a
+            // function's dynamic cost cannot multiply through the call graph
+    std::string LV = "i" + std::to_string(NextLoopVar++);
+    unsigned Trip = 2 + pick(4);
+    line("for (int " + LV + " = 0; " + LV + " < " + std::to_string(Trip) +
+         "; " + LV + " = " + LV + " + 1) {");
+    LoopVars.push_back(LV);
+    ++Indent;
+    unsigned N = 1 + pick(3);
+    for (unsigned I = 0; I != N; ++I)
+      emitStmt(Depth - 1, /*AllowCalls=*/false);
+    --Indent;
+    LoopVars.pop_back();
+    line("}");
+    return;
+  }
+  default: { // wide branch: Fanout consecutive ifs — sibling regions
+    unsigned Fanout = Config.WideBranchFanout ? Config.WideBranchFanout : 1;
+    for (unsigned A = 0; A != Fanout; ++A) {
+      line("if " + cond() + " {");
+      ++Indent;
+      emitStmt(0, AllowCalls);
+      emitStmt(0, AllowCalls);
+      --Indent;
+      line("}");
+    }
+    return;
+  }
+  }
+}
+
+void ScaleProgramBuilder::emitFunction(unsigned Index) {
+  resetPerFunction();
+  std::string Name = "f" + std::to_string(Index);
+  Out += "int " + Name + "(int a, int b) {\n";
+  Indent = 1;
+  Vars.push_back("a");
+  Vars.push_back("b");
+
+  // Live-across pressure band: initialized up front, all folded into the
+  // return value, so every one spans the whole body.
+  for (unsigned P = 0; P != Config.PressureVars; ++P) {
+    std::string V = "p" + std::to_string(P);
+    line("int " + V + " = " +
+         (P % 2 ? "a * " + std::to_string(1 + P) + " - b"
+                : "b * " + std::to_string(2 + P) + " + a") +
+         ";");
+    Vars.push_back(V);
+  }
+
+  // Leaves stay call-free; every third non-leaf is call-heavy when the
+  // density dial says so.
+  bool Leaf = Leaves.size() < 4 + Config.NumFunctions / 16;
+  bool Calls = !Leaf && pick(100) < Config.CallDensityPct;
+  unsigned Depth = 1 + pick(Config.MaxLoopDepth ? Config.MaxLoopDepth : 1);
+  for (unsigned S = 0; S != Config.StmtsPerFunction; ++S)
+    emitStmt(Depth, Calls);
+
+  std::string Sum = "a + b";
+  for (unsigned P = 0; P != Config.PressureVars; ++P)
+    Sum += " + p" + std::to_string(P);
+  line("return " + Sum + ";");
+  Out += "}\n";
+  Indent = 0;
+  if (Leaf)
+    Leaves.push_back(Name);
+}
+
+std::string ScaleProgramBuilder::buildModule() {
+  Out.clear();
+  Leaves.clear();
+  Recs.clear();
+  Rng.seed(Config.Seed);
+
+  Out += "int ga[12];\nint gb[12];\nint gs;\n";
+  Out += "int mix(int a, int b) {\n"
+         "  int r = a * 3 - b;\n"
+         "  if (r > 100) { r = r - 77; }\n"
+         "  if (r < 0 - 100) { r = r + 55; }\n"
+         "  return r;\n"
+         "}\n";
+
+  if (Config.Recursion) {
+    // Bounded self-recursion: the argument strictly decreases, the guard
+    // stops at zero, and callers pass small literals.
+    for (unsigned R = 0; R != 2; ++R) {
+      std::string Name = "rec" + std::to_string(R);
+      Out += "int " + Name + "(int n) {\n";
+      Out += "  if (n <= 0) { return 1; }\n";
+      Out += "  return " + Name + "(n - 1) + mix(n, " + std::to_string(R + 2) +
+             ");\n";
+      Out += "}\n";
+      Recs.push_back(Name);
+    }
+  }
+
+  for (unsigned I = 0; I != Config.NumFunctions; ++I)
+    emitFunction(I);
+
+  // main() seeds the arrays, samples the functions (every module function
+  // when there are few, a strided sample when there are thousands — main
+  // itself must stay allocatable in reasonable time), and checksums.
+  resetPerFunction();
+  Out += "int main() {\n";
+  Indent = 1;
+  line("gs = 0;");
+  line("for (int s = 0; s < 12; s = s + 1) {");
+  ++Indent;
+  line("ga[s] = s * 3 - 7;");
+  line("gb[s] = 11 - s * 2;");
+  --Indent;
+  line("}");
+  unsigned Stride = Config.NumFunctions <= 64
+                        ? 1
+                        : (Config.NumFunctions + 63) / 64;
+  for (unsigned I = 0; I < Config.NumFunctions; I += Stride)
+    line("gs = gs + f" + std::to_string(I) + "(" +
+         std::to_string(static_cast<int>(I % 23) - 11) + ", " +
+         std::to_string(static_cast<int>(I % 17) - 8) + ");");
+  for (const std::string &R : Recs)
+    line("gs = gs + " + R + "(6);");
+  line("int chk = gs;");
+  line("for (int ci = 0; ci < 12; ci = ci + 1) {");
+  ++Indent;
+  line("chk = chk * 31 + ga[ci] + gb[ci] * 7;");
+  --Indent;
+  line("}");
+  line("return chk;");
+  Out += "}\n";
+  Indent = 0;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// The deep-function workload
+//===----------------------------------------------------------------------===//
+
+void ScaleProgramBuilder::emitDeepLevel(unsigned Level) {
+  // Each level contributes Fanout sibling subtrees; alternate loop and
+  // branch shapes so both region kinds appear at every depth. Trip counts
+  // stay at 2 — the point is a big *static* region tree, not a long run.
+  for (unsigned S = 0; S != Config.DeepFanout; ++S) {
+    bool AsLoop = (Level + S) % 2 == 0;
+    if (AsLoop) {
+      std::string LV = "i" + std::to_string(NextLoopVar++);
+      line("for (int " + LV + " = 0; " + LV + " < 2; " + LV + " = " + LV +
+           " + 1) {");
+      LoopVars.push_back(LV);
+    } else {
+      line("if " + cond() + " {");
+    }
+    ++Indent;
+    // Meat at this level: enough straight-line work that the region's own
+    // graph build is non-trivial.
+    for (unsigned W = 0; W != 3; ++W)
+      emitStmt(0, /*AllowCalls=*/false);
+    if (Level + 1 < Config.DeepDepth)
+      emitDeepLevel(Level + 1);
+    --Indent;
+    if (AsLoop)
+      LoopVars.pop_back();
+    line("}");
+  }
+}
+
+std::string ScaleProgramBuilder::buildDeepFunction() {
+  Out.clear();
+  Leaves.clear();
+  Recs.clear();
+  Rng.seed(Config.Seed);
+
+  Out += "int ga[12];\nint gb[12];\nint gs;\n";
+  resetPerFunction();
+  Out += "int deep(int a, int b) {\n";
+  Indent = 1;
+  Vars.push_back("a");
+  Vars.push_back("b");
+  for (unsigned P = 0; P != Config.PressureVars; ++P) {
+    std::string V = "p" + std::to_string(P);
+    line("int " + V + " = " +
+         (P % 2 ? "a - " + std::to_string(1 + P) : "b + " + std::to_string(P)) +
+         ";");
+    Vars.push_back(V);
+  }
+  emitDeepLevel(0);
+  std::string Sum = "a + b";
+  for (unsigned P = 0; P != Config.PressureVars; ++P)
+    Sum += " + p" + std::to_string(P);
+  line("return " + Sum + ";");
+  Out += "}\n";
+  Indent = 0;
+
+  resetPerFunction();
+  Out += "int main() {\n";
+  Indent = 1;
+  line("for (int s = 0; s < 12; s = s + 1) {");
+  ++Indent;
+  line("ga[s] = s * 5 - 9;");
+  line("gb[s] = 13 - s * 3;");
+  --Indent;
+  line("}");
+  line("gs = 0;");
+  line("int chk = deep(3, 0 - 4) + deep(0 - 7, 2);");
+  line("for (int ci = 0; ci < 12; ci = ci + 1) {");
+  ++Indent;
+  line("chk = chk * 31 + ga[ci] + gb[ci] * 7;");
+  --Indent;
+  line("}");
+  line("return chk + gs;");
+  Out += "}\n";
+  Indent = 0;
+  return Out;
+}

@@ -21,6 +21,8 @@ const char *rap::faultSiteName(FaultSite S) {
     return "spill";
   case FaultSite::PhysicalRewrite:
     return "rewrite";
+  case FaultSite::RegionAlloc:
+    return "region";
   case FaultSite::ProtocolParse:
     return "parse";
   case FaultSite::CacheInsert:
@@ -40,6 +42,8 @@ static FaultSite parseSite(const std::string &Name) {
     return FaultSite::SpillInsert;
   if (Name == "rewrite")
     return FaultSite::PhysicalRewrite;
+  if (Name == "region")
+    return FaultSite::RegionAlloc;
   if (Name == "parse")
     return FaultSite::ProtocolParse;
   if (Name == "cache-insert")
@@ -50,7 +54,8 @@ static FaultSite parseSite(const std::string &Name) {
     return FaultSite::MidShutdown;
   throw std::invalid_argument(
       "unknown fault site '" + Name +
-      "' (expected color|spill|rewrite|parse|cache-insert|stall|shutdown)");
+      "' (expected color|spill|rewrite|region|parse|cache-insert|stall|"
+      "shutdown)");
 }
 
 FaultPlan FaultPlan::fromString(const std::string &Spec) {

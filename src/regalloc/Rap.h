@@ -29,6 +29,7 @@
 #include "regalloc/InterferenceGraph.h"
 
 #include <chrono>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -75,6 +76,28 @@ public:
   bool isGlobalTo(Reg R, const PdgNode *V) const;
 
 private:
+  /// Shared body of buildRegionGraph: \p SubGraph resolves a subregion's
+  /// combined interference graph. The sequential walk resolves from
+  /// SavedGraphs; the region-parallel phase resolves from its per-task
+  /// speculative slots.
+  InterferenceGraph buildRegionGraphImpl(
+      PdgNode *V,
+      const std::function<const InterferenceGraph *(const PdgNode *)>
+          &SubGraph);
+
+  /// The speculative region-parallel phase 1 (Options.RegionThreads > 1):
+  /// runs every region's first build/cost/color round as pool tasks over
+  /// the series-parallel decomposition, children before parents, with all
+  /// shared allocator state read-only. If every region colors without a
+  /// spill candidate, results are committed in the sequential postorder
+  /// (bit-identical to the classic walk) and \p Final receives the root's
+  /// colored graph. Any spill candidate, error or injected fault discards
+  /// the whole speculation — including partially consumed fault-injection
+  /// countdowns — and returns false so the caller reruns the classic
+  /// sequential walk, which then reproduces the sequential outcome exactly
+  /// (same spills, same stats, same error if any).
+  bool runRegionParallelPhase1(InterferenceGraph &Final);
+
   void spillQueueRun(std::vector<std::pair<Reg, PdgNode *>> Queue);
 
   /// Applies the paper's §3.1.4 spill-code insertion for \p V in region

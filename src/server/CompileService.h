@@ -38,7 +38,7 @@
 
 #include "driver/Pipeline.h"
 #include "server/AllocCache.h"
-#include "server/ShardPool.h"
+#include "support/ShardPool.h"
 #include "support/Deadline.h"
 
 #include <atomic>

@@ -1,16 +1,15 @@
-//===- server/ShardPool.cpp - Work-stealing allocation shards ---------------===//
+//===- support/ShardPool.cpp - Work-stealing task shards --------------------===//
 //
 // Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
 //
 //===----------------------------------------------------------------------===//
 
-#include "server/ShardPool.h"
+#include "support/ShardPool.h"
 
 #include <algorithm>
 #include <chrono>
 
 using namespace rap;
-using namespace rap::server;
 
 ShardPool::ShardPool(unsigned NumShards, const WatchdogConfig &Watchdog)
     : Watchdog(Watchdog) {

@@ -1,11 +1,12 @@
-//===- server/ShardPool.h - Work-stealing allocation shards -----*- C++ -*-===//
+//===- support/ShardPool.h - Work-stealing task shards ----------*- C++ -*-===//
 //
 // Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The compile server's execution substrate: N shards, each a worker thread
+/// Shared execution substrate for the compile server and the region-parallel
+/// allocator: N shards, each a worker thread
 /// with its own task deque. Producers place tasks on a shard chosen by an
 /// affinity hint (requests keep their functions together for locality);
 /// a worker drains its own deque FIFO and, when empty, steals from the
@@ -36,8 +37,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef RAP_SERVER_SHARDPOOL_H
-#define RAP_SERVER_SHARDPOOL_H
+#ifndef RAP_SUPPORT_SHARDPOOL_H
+#define RAP_SUPPORT_SHARDPOOL_H
 
 #include "support/Deadline.h"
 
@@ -53,12 +54,14 @@
 #include <vector>
 
 namespace rap {
-namespace server {
 
 /// Countdown latch for one batch of pool tasks: the submitter registers
 /// each task, workers signal completion, wait() blocks until all are done.
-/// Submitting threads are never pool workers (the service orchestrates from
-/// the connection/bench thread), so waiting cannot deadlock the pool.
+/// Threads that call wait() are never pool workers (the service orchestrates
+/// from the connection/bench thread; the region allocator waits from the
+/// per-function thread), so waiting cannot deadlock the pool. Workers may
+/// expect()+submit() follow-on tasks from inside a task as long as they do
+/// so before returning — their own pending done() keeps the barrier open.
 class TaskGroup {
 public:
   void expect(size_t N = 1) {
@@ -182,7 +185,14 @@ private:
   uint64_t Trips = 0;
 };
 
+// Historical home of the pool; the server code still refers to these names
+// through its own namespace.
+namespace server {
+using rap::ShardPool;
+using rap::TaskGroup;
+using rap::WatchdogConfig;
 } // namespace server
+
 } // namespace rap
 
-#endif // RAP_SERVER_SHARDPOOL_H
+#endif // RAP_SUPPORT_SHARDPOOL_H

@@ -1,0 +1,133 @@
+//===- tests/pressure_sweep_test.cpp - Register-pressure sweep --------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sweeps the register supply k over a generated pressure workload and pins
+/// the contract at both ends: k=2 is rejected with a structured
+/// Unallocatable diagnostic (a load/store ISA needs at least 3 registers —
+/// never a crash, never a silent fallback), while every k in 3..32
+/// allocates cleanly (zero spill-everything fallbacks) and the executed
+/// spill traffic (dynamic ldm+stm) never increases as registers are added —
+/// more registers can only remove spills. Raw cycle counts are checked at
+/// the knee (k=3 vs k=32) rather than pairwise: changing k perturbs color
+/// choices and with them copy cleanup, which can wiggle cycles by a handful
+/// even as spill traffic falls.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "fuzz/ScaleProgram.h"
+#include "regalloc/Allocator.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+#include <vector>
+
+using namespace rap;
+
+namespace {
+
+/// The sweep workload: a module whose pressure band (8 scalars live across
+/// every function body) forces heavy spilling at k=3 and none by k=32.
+std::string sweepSource() {
+  fuzz::ScaleProgramConfig C;
+  C.Seed = 19;
+  C.NumFunctions = 8;
+  C.StmtsPerFunction = 6;
+  C.PressureVars = 8;
+  return fuzz::ScaleProgramBuilder(C).buildModule();
+}
+
+const char *allocName(AllocatorKind Kind) {
+  return Kind == AllocatorKind::Rap ? "rap" : "gra";
+}
+
+//===----------------------------------------------------------------------===//
+// k=2: structured rejection
+//===----------------------------------------------------------------------===//
+
+TEST(PressureSweep, KTwoIsRejectedStructurally) {
+  std::string Src = sweepSource();
+  for (AllocatorKind Kind : {AllocatorKind::Rap, AllocatorKind::Gra}) {
+    // Strict mode: the compile fails with the unallocatable diagnostic.
+    CompileOptions Strict;
+    Strict.Allocator = Kind;
+    Strict.Alloc.K = 2;
+    Strict.Alloc.FallbackOnError = false;
+    CompileResult CR = compileMiniC(Src, Strict);
+    EXPECT_FALSE(CR.ok()) << allocName(Kind);
+    EXPECT_NE(CR.Errors.find("unallocatable"), std::string::npos)
+        << allocName(Kind) << ": " << CR.Errors;
+
+    // Checked mode: the outcome ledger carries the structured kind per
+    // function (k=2 cannot even run the fallback, which also needs 3).
+    CompileOptions Front; // Allocator = None
+    CompileResult UC = compileMiniC(Src, Front);
+    ASSERT_TRUE(UC.ok()) << UC.Errors;
+    AllocOptions AO;
+    AO.K = 2;
+    AO.FallbackOnError = false;
+    EXPECT_THROW(allocateProgramChecked(*UC.Prog, Kind, AO), AllocError);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// k in 3..32: clean allocation, monotone dynamic cost
+//===----------------------------------------------------------------------===//
+
+TEST(PressureSweep, NoFallbacksAndMonotoneSpillTrafficAcrossK) {
+  std::string Src = sweepSource();
+
+  CompileOptions RefOpts; // unallocated reference checksum
+  RunResult Ref = compileAndRun(Src, RefOpts);
+  ASSERT_TRUE(Ref.Ok) << Ref.Error;
+  int64_t Want = Ref.ReturnValue.asInt();
+
+  for (AllocatorKind Kind : {AllocatorKind::Rap, AllocatorKind::Gra}) {
+    uint64_t PrevSpill = 0;
+    uint64_t FirstCycles = 0, LastCycles = 0, LastSpill = 0;
+    bool HavePrev = false;
+    for (unsigned K = 3; K <= 32; ++K) {
+      CompileOptions Front;
+      CompileResult CR = compileMiniC(Src, Front);
+      ASSERT_TRUE(CR.ok()) << CR.Errors;
+
+      AllocOptions AO;
+      AO.K = K;
+      AO.VerifyAssignments = true;
+      AO.FallbackOnError = true; // a fallback would be recorded, not thrown
+      ProgramAllocResult PR = allocateProgramChecked(*CR.Prog, Kind, AO);
+      EXPECT_EQ(PR.numFallbacks(), 0u)
+          << allocName(Kind) << " k=" << K << ":\n"
+          << PR.summary();
+
+      RunResult R = Interpreter(*CR.Prog).run();
+      ASSERT_TRUE(R.Ok) << allocName(Kind) << " k=" << K << ": " << R.Error;
+      EXPECT_EQ(R.ReturnValue.asInt(), Want)
+          << allocName(Kind) << " k=" << K;
+
+      uint64_t Spill = R.Stats.SpillLoads + R.Stats.SpillStores;
+      if (HavePrev)
+        EXPECT_LE(Spill, PrevSpill)
+            << allocName(Kind) << ": spill traffic increased going to k="
+            << K;
+      else
+        FirstCycles = R.Stats.Cycles;
+      PrevSpill = Spill;
+      LastSpill = Spill;
+      LastCycles = R.Stats.Cycles;
+      HavePrev = true;
+    }
+    // The sweep must actually exercise the pressure knee: heavy spilling at
+    // k=3 has to cost real cycles relative to the top end, and by k=32 all
+    // eight pressure scalars fit — no spill traffic at all.
+    EXPECT_GT(FirstCycles, LastCycles) << allocName(Kind);
+    EXPECT_EQ(LastSpill, 0u) << allocName(Kind);
+  }
+}
+
+} // namespace

@@ -123,6 +123,14 @@ TEST(FaultPlanParse, EmptyAndBlankEntries) {
   EXPECT_EQ(P.Arms.size(), 2u);
 }
 
+TEST(FaultPlanParse, RegionSite) {
+  FaultPlan P = FaultPlan::fromString("region:4@deep");
+  ASSERT_EQ(P.Arms.size(), 1u);
+  EXPECT_EQ(P.Arms[0].Site, FaultSite::RegionAlloc);
+  EXPECT_EQ(P.Arms[0].Nth, 4u);
+  EXPECT_EQ(P.Arms[0].Function, "deep");
+}
+
 TEST(FaultPlanParse, Malformed) {
   EXPECT_THROW(FaultPlan::fromString("bogus:1"), std::invalid_argument);
   EXPECT_THROW(FaultPlan::fromString("color"), std::invalid_argument);
@@ -280,6 +288,72 @@ TEST(FaultIsolation, PoisonedFunctionDegradesAlone) {
       }
     }
   }
+}
+
+TEST(FaultIsolation, RegionFaultUnderRegionThreads) {
+  // Inject at the region-allocation site while the speculative
+  // region-parallel first round is active (RegionThreads > 1, Grain=1 so
+  // every region is a task owner). The speculation must discard, re-arm the
+  // injector, rerun the classic walk, hit the same fault there, and degrade
+  // only the targeted function — with every other function byte-identical
+  // to a fault-free serial run and the program still computing the
+  // reference value through the verified fallback.
+  int64_t Want = referenceValue(MultiFunctionSource);
+
+  CompileOptions Clean;
+  Clean.Allocator = AllocatorKind::Rap;
+  Clean.Alloc.K = 3;
+  CompileResult Baseline = compileMiniC(MultiFunctionSource, Clean);
+  ASSERT_TRUE(Baseline.ok()) << Baseline.Errors;
+  std::vector<std::string> CleanCode;
+  for (const auto &F : Baseline.Prog->functions())
+    CleanCode.push_back(F->str());
+
+  for (unsigned RegionThreads : {2u, 4u}) {
+    CompileOptions Opts = Clean;
+    Opts.Alloc.RegionThreads = RegionThreads;
+    Opts.Alloc.RegionGrain = 1;
+    Opts.Alloc.FallbackOnError = true;
+    Opts.Alloc.VerifyAssignments = true;
+    Opts.Alloc.Faults = FaultPlan::fromString("region:2@pressure");
+    CompileResult CR = compileDegradable(MultiFunctionSource, Opts, Want);
+    ASSERT_TRUE(CR.ok());
+    ASSERT_EQ(CR.AllocOutcomes.size(), CleanCode.size());
+    for (size_t I = 0; I != CR.AllocOutcomes.size(); ++I) {
+      const AllocOutcome &O = CR.AllocOutcomes[I];
+      if (O.Function == "pressure") {
+        EXPECT_EQ(O.Status, AllocStatus::Fallback)
+            << "region threads=" << RegionThreads << ": " << O.Error;
+        EXPECT_EQ(O.ErrorKind, AllocErrorKind::InjectedFault);
+      } else {
+        EXPECT_EQ(O.Status, AllocStatus::Allocated)
+            << O.Function << " region threads=" << RegionThreads << ": "
+            << O.Error;
+        EXPECT_EQ(CR.Prog->functions()[I]->str(), CleanCode[I])
+            << O.Function
+            << " differs from fault-free serial run at region threads="
+            << RegionThreads;
+      }
+    }
+  }
+}
+
+TEST(FaultIsolation, RegionFaultStrictUnderRegionThreads) {
+  // Strict mode with the same speculative-phase injection: the classic
+  // rerun re-raises the fault as a structured error and the compile fails
+  // deterministically.
+  CompileOptions Opts;
+  Opts.Allocator = AllocatorKind::Rap;
+  Opts.Alloc.K = 3;
+  Opts.Alloc.RegionThreads = 4;
+  Opts.Alloc.RegionGrain = 1;
+  Opts.Alloc.FallbackOnError = false;
+  Opts.Alloc.Faults = FaultPlan::fromString("region:2@pressure");
+  CompileResult CR = compileMiniC(MultiFunctionSource, Opts);
+  EXPECT_FALSE(CR.ok());
+  EXPECT_NE(CR.Errors.find("injected-fault in 'pressure'"),
+            std::string::npos)
+      << CR.Errors;
 }
 
 TEST(FaultIsolation, StrictModeFailsTheCompile) {

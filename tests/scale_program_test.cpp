@@ -1,0 +1,164 @@
+//===- tests/scale_program_test.cpp - Scale-generator properties ------------===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property tests for the seeded scale-program generator (fuzz/ScaleProgram):
+/// same seed + same config must produce byte-identical text (including a
+/// 10k-function module, generation only); generated modules must compile,
+/// allocate cleanly under both allocators with the assignment verifier on,
+/// and run trap-free to the same checksum as the unallocated reference under
+/// a bounded fuel budget.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "fuzz/ScaleProgram.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+
+using namespace rap;
+using namespace rap::fuzz;
+
+namespace {
+
+ScaleProgramConfig smallConfig(unsigned Seed) {
+  ScaleProgramConfig C;
+  C.Seed = Seed;
+  C.NumFunctions = 10;
+  C.StmtsPerFunction = 6;
+  C.PressureVars = 4;
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Seed determinism
+//===----------------------------------------------------------------------===//
+
+TEST(ScaleProgram, SameSeedByteIdentical) {
+  for (unsigned Seed : {1u, 7u, 42u}) {
+    ScaleProgramConfig C = smallConfig(Seed);
+    std::string A = ScaleProgramBuilder(C).buildModule();
+    std::string B = ScaleProgramBuilder(C).buildModule();
+    EXPECT_EQ(A, B) << "seed " << Seed;
+    EXPECT_EQ(ScaleProgramBuilder(C).buildDeepFunction(),
+              ScaleProgramBuilder(C).buildDeepFunction())
+        << "seed " << Seed;
+  }
+}
+
+TEST(ScaleProgram, BuilderIsReusable) {
+  // One builder produces the same text on repeated builds (state resets).
+  ScaleProgramConfig C = smallConfig(3);
+  ScaleProgramBuilder B(C);
+  std::string First = B.buildModule();
+  EXPECT_EQ(First, B.buildModule());
+  std::string Deep = B.buildDeepFunction();
+  EXPECT_EQ(Deep, B.buildDeepFunction());
+  // Interleaving the two products must not perturb either.
+  EXPECT_EQ(First, B.buildModule());
+}
+
+TEST(ScaleProgram, DifferentSeedsDiffer) {
+  std::string A = ScaleProgramBuilder(smallConfig(1)).buildModule();
+  std::string B = ScaleProgramBuilder(smallConfig(2)).buildModule();
+  EXPECT_NE(A, B);
+}
+
+TEST(ScaleProgram, TenThousandFunctionsGenerateDeterministically) {
+  // Generation-only at the headline scale: two independent builders, equal
+  // bytes, and the text really contains the last function.
+  ScaleProgramConfig C;
+  C.Seed = 11;
+  C.NumFunctions = 10000;
+  C.StmtsPerFunction = 4;
+  C.PressureVars = 2;
+  std::string A = ScaleProgramBuilder(C).buildModule();
+  std::string B = ScaleProgramBuilder(C).buildModule();
+  ASSERT_EQ(A.size(), B.size());
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A.find("int f9999(int a, int b)"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Generated programs are safe: they compile, allocate verifiably, and run
+// trap-free to the reference checksum within a bounded fuel budget.
+//===----------------------------------------------------------------------===//
+
+void expectCompilesRunsAndVerifies(const std::string &Src, unsigned Seed) {
+  constexpr uint64_t Fuel = 50'000'000; // far above any generated workload
+
+  CompileOptions RefOpts; // unallocated reference
+  CompileResult Ref = compileMiniC(Src, RefOpts);
+  ASSERT_TRUE(Ref.ok()) << "seed " << Seed << ":\n" << Ref.Errors;
+  RunResult RefRun = Interpreter(*Ref.Prog).run("main", Fuel);
+  ASSERT_TRUE(RefRun.Ok) << "seed " << Seed << ": " << RefRun.Error;
+  int64_t Want = RefRun.ReturnValue.asInt();
+
+  for (AllocatorKind Kind : {AllocatorKind::Rap, AllocatorKind::Gra}) {
+    for (unsigned K : {3u, 8u}) {
+      CompileOptions Opts;
+      Opts.Allocator = Kind;
+      Opts.Alloc.K = K;
+      // Strict: a verifier rejection or any allocation error must fail the
+      // compile, not degrade silently.
+      Opts.Alloc.VerifyAssignments = true;
+      Opts.Alloc.FallbackOnError = false;
+      CompileResult CR = compileMiniC(Src, Opts);
+      ASSERT_TRUE(CR.ok())
+          << "seed " << Seed << " alloc "
+          << (Kind == AllocatorKind::Rap ? "rap" : "gra") << " k=" << K
+          << ":\n"
+          << CR.Errors;
+      RunResult R = Interpreter(*CR.Prog).run("main", Fuel);
+      ASSERT_TRUE(R.Ok) << "seed " << Seed << ": " << R.Error;
+      EXPECT_EQ(R.ReturnValue.asInt(), Want)
+          << "seed " << Seed << " alloc "
+          << (Kind == AllocatorKind::Rap ? "rap" : "gra") << " k=" << K;
+    }
+  }
+}
+
+TEST(ScaleProgram, ModulesAllocateAndRunTrapFree) {
+  for (unsigned Seed : {1u, 5u, 9u}) {
+    ScaleProgramConfig C = smallConfig(Seed);
+    expectCompilesRunsAndVerifies(ScaleProgramBuilder(C).buildModule(),
+                                  Seed);
+  }
+}
+
+TEST(ScaleProgram, DeepFunctionAllocatesAndRunsTrapFree) {
+  ScaleProgramConfig C;
+  C.Seed = 7;
+  C.DeepDepth = 4;
+  C.DeepFanout = 2;
+  C.PressureVars = 2;
+  expectCompilesRunsAndVerifies(ScaleProgramBuilder(C).buildDeepFunction(),
+                                C.Seed);
+}
+
+TEST(ScaleProgram, WiderModuleCompilesUnderRap) {
+  // A mid-size module (100 functions, the config default) through the full
+  // RAP pipeline: allocation must stay clean (no fallbacks) and the result
+  // must run trap-free.
+  ScaleProgramConfig C;
+  C.Seed = 13;
+  constexpr uint64_t Fuel = 100'000'000;
+
+  std::string Src = ScaleProgramBuilder(C).buildModule();
+  CompileOptions Opts;
+  Opts.Allocator = AllocatorKind::Rap;
+  Opts.Alloc.K = 8;
+  Opts.Alloc.FallbackOnError = false;
+  CompileResult CR = compileMiniC(Src, Opts);
+  ASSERT_TRUE(CR.ok()) << CR.Errors;
+  EXPECT_FALSE(CR.degraded());
+  RunResult R = Interpreter(*CR.Prog).run("main", Fuel);
+  ASSERT_TRUE(R.Ok) << R.Error;
+}
+
+} // namespace
