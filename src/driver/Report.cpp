@@ -97,6 +97,15 @@ json::Value rap::statsJson(const CompileResult &R, const ReportMeta &Meta) {
     S["watchdog_trips"] = Meta.Server.WatchdogTrips;
     S["drain_ms"] = Meta.Server.DrainMs;
     S["drain_degraded"] = Meta.Server.DrainDegraded;
+    if (Meta.Server.Recovery.Enabled) {
+      json::Object Rec;
+      Rec["journal_frames_replayed"] =
+          Meta.Server.Recovery.JournalFramesReplayed;
+      Rec["snapshot_loaded"] = Meta.Server.Recovery.SnapshotLoaded;
+      Rec["torn_tail_dropped"] = Meta.Server.Recovery.TornTailDropped;
+      Rec["restarts"] = Meta.Server.Recovery.Restarts;
+      S["recovery"] = json::Value(std::move(Rec));
+    }
     Root["server"] = json::Value(std::move(S));
   }
   return json::Value(std::move(Root));
@@ -153,6 +162,19 @@ std::string rap::statsText(const CompileResult &R, const ReportMeta &Meta) {
                   Meta.Server.DrainMs,
                   Meta.Server.DrainDegraded ? "yes" : "no");
     Out += Buf;
+    if (Meta.Server.Recovery.Enabled) {
+      std::snprintf(
+          Buf, sizeof(Buf),
+          "  server-recovery: frames-replayed=%llu snapshot=%s "
+          "torn-tail-dropped=%llu restarts=%llu\n",
+          static_cast<unsigned long long>(
+              Meta.Server.Recovery.JournalFramesReplayed),
+          Meta.Server.Recovery.SnapshotLoaded ? "yes" : "no",
+          static_cast<unsigned long long>(
+              Meta.Server.Recovery.TornTailDropped),
+          static_cast<unsigned long long>(Meta.Server.Recovery.Restarts));
+      Out += Buf;
+    }
   }
   if (!R.Telemetry.Counters.empty()) {
     std::snprintf(Buf, sizeof(Buf),

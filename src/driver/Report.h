@@ -38,6 +38,19 @@ struct ServerReportStats {
   uint64_t WatchdogTrips = 0;    ///< workers caught overstaying a deadline
   unsigned DrainMs = 0;          ///< configured drain window
   bool DrainDegraded = false;    ///< the drain deadline had to cancel work
+
+  /// Durable-cache recovery (DESIGN.md §15): emitted as the `recovery`
+  /// sub-object of the `server` section only when Enabled (i.e. rapd ran
+  /// with --cache-dir); absent otherwise so in-memory-only documents stay
+  /// byte-identical to pre-§15 output.
+  struct RecoveryStats {
+    bool Enabled = false;
+    uint64_t JournalFramesReplayed = 0; ///< entries recovered at startup
+    bool SnapshotLoaded = false;        ///< snapshot.bin replayed
+    uint64_t TornTailDropped = 0;       ///< crash-torn bytes dropped
+    uint64_t Restarts = 0;              ///< supervised restarts so far
+  };
+  RecoveryStats Recovery;
 };
 
 /// Context the stats document records about the run that produced it.

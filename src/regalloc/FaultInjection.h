@@ -21,7 +21,10 @@
 /// rewrite), `region` (at entry of a region's allocation, sequential or
 /// region-parallel) — or a server site — `parse` (protocol dispatch), `cache-insert`
 /// (allocation-cache insertion), `stall` (a worker ignores its cancel token
-/// for a while), `shutdown` (the server's stop flag flips mid-request) —
+/// for a while), `shutdown` (the server's stop flag flips mid-request),
+/// `journal-write` (a durable-cache journal append fails), `snapshot-compact`
+/// (a durable-cache compaction fails; both degrade persistence to
+/// in-memory-only, DESIGN.md §15) —
 /// and the fault fires on the <n>-th hit of that site: in every function,
 /// or only in <function> when the @ suffix is given (server sites ignore
 /// the suffix). Injection points sit at IR-consistent boundaries (before
@@ -50,10 +53,12 @@ enum class FaultSite {
 
   // Server-layer chaos sites (rapd; DESIGN.md §13). These never fire inside
   // an allocator run — they are counted by the server's own injectors.
-  ProtocolParse, ///< during request dispatch, after JSON parsing
-  CacheInsert,   ///< before an AllocCache::insert
-  WorkerStall,   ///< a shard worker stalls, ignoring its cancel token
-  MidShutdown,   ///< the server's shutdown flag flips mid-request
+  ProtocolParse,   ///< during request dispatch, after JSON parsing
+  CacheInsert,     ///< before an AllocCache::insert
+  WorkerStall,     ///< a shard worker stalls, ignoring its cancel token
+  MidShutdown,     ///< the server's shutdown flag flips mid-request
+  JournalWrite,    ///< before a CacheStore journal append (DESIGN.md §15)
+  SnapshotCompact, ///< at entry of a CacheStore snapshot compaction
 };
 
 const char *faultSiteName(FaultSite S);

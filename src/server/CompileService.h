@@ -38,6 +38,7 @@
 
 #include "driver/Pipeline.h"
 #include "server/AllocCache.h"
+#include "server/CacheStore.h"
 #include "support/ShardPool.h"
 #include "support/Deadline.h"
 
@@ -67,6 +68,25 @@ struct ServiceConfig {
   unsigned ChaosStallMs = 50;
   /// Watchdog tuning for the shard pool (Factor 0 disables).
   WatchdogConfig Watchdog;
+
+  //===------------------------------------------------------------------===//
+  // Durable cache persistence (DESIGN.md §15). Empty CacheDir = in-memory
+  // only (the pre-PR behavior, byte for byte).
+  //===------------------------------------------------------------------===//
+
+  /// Directory for snapshot.bin/journal.bin; recovery replays both into the
+  /// in-memory cache at construction and every later insertion is
+  /// journaled. Ignored when CacheBytes == 0 (nothing to persist).
+  std::string CacheDir;
+  FsyncMode CacheFsync = FsyncMode::Batch;
+  /// Journal size that triggers snapshot compaction (0 = never).
+  size_t CacheCompactBytes = 64u << 20;
+  /// Store fingerprint override for the invalidation tests; 0 = the real
+  /// build fingerprint.
+  uint64_t CacheFingerprint = 0;
+  /// Supervised-restart count (rapd passes RAPD_RESTARTS through); purely
+  /// informational, surfaced in the stats `recovery` block.
+  uint64_t Restarts = 0;
 };
 
 /// Per-request compile options: the protocol's "options" object plus the
@@ -143,6 +163,18 @@ struct ServiceCounters {
   uint64_t WatchdogTrips = 0;    ///< workers caught overstaying N x deadline
   uint64_t ShardsDegraded = 0;   ///< shards currently wedged (watchdog view)
   uint64_t ChaosInjected = 0;    ///< contained server-layer chaos faults
+
+  // Durable-cache recovery (meaningful only when PersistEnabled; the stats
+  // `recovery` block is omitted otherwise).
+  bool PersistEnabled = false;       ///< a CacheStore is attached
+  bool SnapshotLoaded = false;       ///< snapshot.bin replayed at startup
+  uint64_t JournalFramesReplayed = 0;///< entries recovered (snapshot+journal)
+  uint64_t TornTailDropped = 0;      ///< bytes dropped past the last good frame
+  uint64_t StoreInvalidations = 0;   ///< fingerprint-mismatch full wipes
+  uint64_t JournalAppends = 0;       ///< entries journaled this process
+  uint64_t Compactions = 0;          ///< snapshot rewrites this process
+  bool StoreDegraded = false;        ///< persistence off after a fault
+  uint64_t Restarts = 0;             ///< supervised restarts (RAPD_RESTARTS)
 };
 
 class CompileService {
@@ -157,6 +189,10 @@ public:
   unsigned shards() const { return Pool.shards(); }
   size_t cacheBudgetBytes() const { return Cache.budgetBytes(); }
 
+  /// The durable cache store, if --cache-dir armed one (tests and the drain
+  /// path poke it directly; null in in-memory-only mode).
+  CacheStore *store() { return Store.get(); }
+
 private:
   /// Thread-safe countdown on the service's chaos schedule (server sites
   /// fire from pool workers and the service thread alike).
@@ -164,6 +200,10 @@ private:
 
   ServiceConfig Config;
   AllocCache Cache;
+  /// Durable mirror of Cache (null = in-memory only). Constructed after
+  /// Cache and replayed in the constructor body, so warm state is visible
+  /// before the first request.
+  std::unique_ptr<CacheStore> Store;
   ShardPool Pool;
   std::atomic<uint64_t> Requests{0};
   std::atomic<uint64_t> NextShardHint{0};

@@ -237,6 +237,21 @@ json::Value server::statsResponse(const Request &Req,
   S["shards_degraded"] = C.ShardsDegraded;
   S["chaos_injected"] = C.ChaosInjected;
   S["drain_ms"] = DrainMs;
+  // Durable-cache recovery counters: present only when --cache-dir armed a
+  // CacheStore, so in-memory-only deployments keep their pre-§15 stats
+  // lines byte-identical.
+  if (C.PersistEnabled) {
+    json::Object R;
+    R["journal_frames_replayed"] = C.JournalFramesReplayed;
+    R["snapshot_loaded"] = C.SnapshotLoaded;
+    R["torn_tail_dropped"] = C.TornTailDropped;
+    R["restarts"] = C.Restarts;
+    R["journal_appends"] = C.JournalAppends;
+    R["compactions"] = C.Compactions;
+    R["invalidations"] = C.StoreInvalidations;
+    R["degraded"] = C.StoreDegraded;
+    S["recovery"] = json::Value(std::move(R));
+  }
   json::Object O = responseBase(Req, true);
   O["stats"] = json::Value(std::move(S));
   return json::Value(std::move(O));

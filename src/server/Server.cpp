@@ -17,8 +17,10 @@
 #if defined(__unix__) || defined(__APPLE__)
 #define RAP_HAVE_UNIX_SOCKETS 1
 #include <cerrno>
+#include <cstring>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 #else
@@ -358,7 +360,49 @@ int Server::serveSocket(const std::string &Path) {
     return 1;
   }
   std::snprintf(Addr.sun_path, sizeof(Addr.sun_path), "%s", Path.c_str());
-  ::unlink(Path.c_str()); // stale socket from a previous run
+
+  // Stale-socket handling: a leftover path from a crashed rapd must not
+  // block restart, but blindly unlinking would hijack the clients of a
+  // *live* server (two rapds racing for one path after a supervisor bug).
+  // Probe first: if something answers the connect, refuse to start with a
+  // stable machine-readable token; only a dead socket (ECONNREFUSED) is
+  // unlinked and rebound.
+  struct stat St;
+  if (::lstat(Path.c_str(), &St) == 0) {
+    if (!S_ISSOCK(St.st_mode)) {
+      std::fprintf(stderr,
+                   "rapd: error kind=socket-in-use path=%s: exists and is "
+                   "not a socket; refusing to unlink\n",
+                   Path.c_str());
+      ::close(Listen);
+      return 1;
+    }
+    int Probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Probe >= 0) {
+      int R = ::connect(Probe, reinterpret_cast<sockaddr *>(&Addr),
+                        sizeof(Addr));
+      int Err = errno;
+      ::close(Probe);
+      if (R == 0) {
+        std::fprintf(stderr,
+                     "rapd: error kind=socket-in-use path=%s: a live server "
+                     "is accepting on this socket; refusing to unlink\n",
+                     Path.c_str());
+        ::close(Listen);
+        return 1;
+      }
+      if (Err != ECONNREFUSED && Err != ENOENT) {
+        // EACCES, EPERM, ...: we can't prove it's dead; don't steal it.
+        std::fprintf(stderr,
+                     "rapd: error kind=socket-in-use path=%s: probe failed "
+                     "(%s); refusing to unlink\n",
+                     Path.c_str(), std::strerror(Err));
+        ::close(Listen);
+        return 1;
+      }
+    }
+    ::unlink(Path.c_str()); // probed dead: a remnant of a crashed run
+  }
   if (::bind(Listen, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
       ::listen(Listen, 64) < 0) {
     std::perror("rapd: bind/listen");

@@ -88,10 +88,12 @@ public:
   /// 3 drain deadline hit with work still in flight).
   int serveStdio(std::istream &In, std::ostream &Out);
 
-  /// Binds \p Path (unlinking a stale socket first) and serves until a
-  /// shutdown request. One thread per connection; the accept and read
-  /// loops poll at ~50ms so a drain is observed promptly. Same exit code
-  /// contract as serveStdio.
+  /// Binds \p Path and serves until a shutdown request. An existing socket
+  /// at \p Path is probed first: unlinked and rebound only if dead
+  /// (ECONNREFUSED); if a live server answers, this fails with a
+  /// `socket-in-use` error and exit code 1 instead of hijacking it. One
+  /// thread per connection; the accept and read loops poll at ~50ms so a
+  /// drain is observed promptly. Same exit code contract as serveStdio.
   int serveSocket(const std::string &Path);
 
   /// One request line -> one response line (no trailing newline). Handles

@@ -1,0 +1,230 @@
+//===- support/Journal.h - CRC-framed append-only journal -------*- C++ -*-===//
+//
+// Part of the RAP reproduction of Norris & Pollock, PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte-level substrate of the server's durable allocation cache
+/// (DESIGN.md §15): an append-only stream of CRC32-framed records plus the
+/// little-endian writer/reader the cache store serializes entries with.
+///
+/// Frame layout (all integers little-endian, independent of host order):
+///
+///   [u32 length][u32 crc32][content: length bytes]     content[0] = type
+///
+/// `length` counts the content bytes (>= 1, the type tag); `crc32` covers
+/// exactly the content. The format is deliberately self-delimiting and
+/// *prefix-recoverable*: a reader scans frames in order and stops at the
+/// first frame whose header is incomplete, whose length overruns the buffer,
+/// or whose CRC disagrees — everything before that point is trusted,
+/// everything after is a torn tail from a crash mid-write and is dropped.
+/// Recovery therefore never aborts on a truncated or bit-flipped tail; the
+/// cache-store tests truncate and flip every byte offset of a final frame
+/// and assert exactly this prefix semantics.
+///
+/// A `MaxFrameBytes` bound rejects absurd lengths early so a corrupt header
+/// cannot demand a giant allocation before the CRC gets a chance to veto it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_SUPPORT_JOURNAL_H
+#define RAP_SUPPORT_JOURNAL_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace rap {
+namespace journal {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over \p Len bytes.
+/// Table built on first use; thread-safe since C++11 static initialization.
+inline uint32_t crc32(const void *Data, size_t Len, uint32_t Seed = 0) {
+  static const auto Table = [] {
+    struct T {
+      uint32_t Row[256];
+    } T;
+    for (uint32_t I = 0; I != 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K != 8; ++K)
+        C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+      T.Row[I] = C;
+    }
+    return T;
+  }();
+  uint32_t C = ~Seed;
+  const auto *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I != Len; ++I)
+    C = Table.Row[(C ^ P[I]) & 0xFF] ^ (C >> 8);
+  return ~C;
+}
+
+//===----------------------------------------------------------------------===//
+// Little-endian scalar encoding (explicit, so journals written on any host
+// replay on any other).
+//===----------------------------------------------------------------------===//
+
+/// Appends fixed-width little-endian scalars and length-prefixed strings to
+/// a byte buffer. The cache store's entry serializer.
+class ByteWriter {
+public:
+  explicit ByteWriter(std::string &Out) : Out(Out) {}
+
+  void u8(uint8_t V) { Out.push_back(static_cast<char>(V)); }
+  void u32(uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+  }
+  void i32(int32_t V) { u32(static_cast<uint32_t>(V)); }
+  void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
+  void f64(double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    u64(Bits);
+  }
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Out.append(S);
+  }
+
+private:
+  std::string &Out;
+};
+
+/// Bounds-checked little-endian reader over a byte range. Reads past the end
+/// latch the failed flag and return zeros; callers check ok() once at the
+/// end of a record instead of after every field (a corrupt-but-CRC-valid
+/// record degrades to a decode failure, never UB).
+class ByteReader {
+public:
+  ByteReader(const char *Data, size_t Size) : P(Data), End(Data + Size) {}
+
+  uint8_t u8() {
+    if (!need(1))
+      return 0;
+    return static_cast<uint8_t>(*P++);
+  }
+  uint32_t u32() {
+    if (!need(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I != 4; ++I)
+      V |= static_cast<uint32_t>(static_cast<unsigned char>(*P++)) << (8 * I);
+    return V;
+  }
+  uint64_t u64() {
+    if (!need(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I != 8; ++I)
+      V |= static_cast<uint64_t>(static_cast<unsigned char>(*P++)) << (8 * I);
+    return V;
+  }
+  int32_t i32() { return static_cast<int32_t>(u32()); }
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+  double f64() {
+    uint64_t Bits = u64();
+    double V;
+    std::memcpy(&V, &Bits, sizeof(V));
+    return V;
+  }
+  std::string str() {
+    uint32_t N = u32();
+    if (!need(N))
+      return std::string();
+    std::string S(P, N);
+    P += N;
+    return S;
+  }
+
+  bool ok() const { return !Failed; }
+  bool atEnd() const { return P == End && !Failed; }
+  size_t remaining() const { return static_cast<size_t>(End - P); }
+
+private:
+  bool need(size_t N) {
+    if (Failed || static_cast<size_t>(End - P) < N) {
+      Failed = true;
+      P = End;
+      return false;
+    }
+    return true;
+  }
+  const char *P;
+  const char *End;
+  bool Failed = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Framing
+//===----------------------------------------------------------------------===//
+
+/// Appends one frame of \p Type + \p Payload to \p Out.
+inline void appendFrame(std::string &Out, uint8_t Type,
+                        const std::string &Payload) {
+  std::string Content;
+  Content.reserve(Payload.size() + 1);
+  Content.push_back(static_cast<char>(Type));
+  Content += Payload;
+  ByteWriter W(Out);
+  W.u32(static_cast<uint32_t>(Content.size()));
+  W.u32(crc32(Content.data(), Content.size()));
+  Out += Content;
+}
+
+/// One decoded frame: the type tag plus a view into the scanned buffer
+/// (valid only while the buffer lives).
+struct Frame {
+  uint8_t Type = 0;
+  const char *Payload = nullptr;
+  size_t PayloadSize = 0;
+};
+
+struct ScanResult {
+  uint64_t FramesOk = 0;    ///< frames delivered to the callback
+  size_t BytesConsumed = 0; ///< prefix covered by valid frames
+  bool TornTail = false;    ///< bytes remained past the last valid frame
+};
+
+/// Walks the frames of \p Data in order, invoking \p Fn(Frame) for each
+/// valid one until it returns false or the stream ends. Stops — without
+/// failing — at the first incomplete header, overlong length, or CRC
+/// mismatch; ScanResult records how far the trusted prefix reached and
+/// whether a torn tail was dropped.
+template <typename FnT>
+ScanResult scanFrames(const char *Data, size_t Size, FnT &&Fn,
+                      size_t MaxFrameBytes = size_t(1) << 31) {
+  ScanResult R;
+  size_t Off = 0;
+  while (Size - Off >= 8) {
+    ByteReader H(Data + Off, 8);
+    uint32_t Len = H.u32();
+    uint32_t Crc = H.u32();
+    if (Len == 0 || Len > MaxFrameBytes || Len > Size - Off - 8)
+      break; // truncated or corrupt length: torn tail
+    const char *Content = Data + Off + 8;
+    if (crc32(Content, Len) != Crc)
+      break; // bit rot or a torn rewrite: stop at the prefix
+    Frame F;
+    F.Type = static_cast<uint8_t>(Content[0]);
+    F.Payload = Content + 1;
+    F.PayloadSize = Len - 1;
+    Off += 8 + Len;
+    R.FramesOk += 1;
+    R.BytesConsumed = Off;
+    if (!Fn(F))
+      return R; // caller stopped early: the tail is unexamined, not torn
+  }
+  R.TornTail = Off != Size;
+  return R;
+}
+
+} // namespace journal
+} // namespace rap
+
+#endif // RAP_SUPPORT_JOURNAL_H

@@ -253,10 +253,36 @@ TEST(StatsSchema, ServerSectionOnlyWhenServing) {
   EXPECT_EQ(S["drain_ms"].asInt(), 2000);
   EXPECT_TRUE(S["drain_degraded"].asBool());
   expectNoNulls(Doc["server"], "$.server");
+  // No --cache-dir: the recovery sub-object is absent so in-memory-only
+  // documents stay byte-identical to pre-§15 output.
+  EXPECT_FALSE(S.has("recovery"));
 
   std::string Text = statsText(CR, Meta);
   EXPECT_NE(Text.find("server: cache hits=12 misses=3"), std::string::npos);
   EXPECT_NE(Text.find("server-drain: deadline-exceeded=7"), std::string::npos);
+  EXPECT_EQ(Text.find("server-recovery:"), std::string::npos);
+
+  // With a persistent store attached (--cache-dir), the recovery block
+  // carries the §15 counters, all typed and non-null.
+  Meta.Server.Recovery.Enabled = true;
+  Meta.Server.Recovery.JournalFramesReplayed = 42;
+  Meta.Server.Recovery.SnapshotLoaded = true;
+  Meta.Server.Recovery.TornTailDropped = 17;
+  Meta.Server.Recovery.Restarts = 3;
+  json::Value PersistDoc;
+  ASSERT_TRUE(json::parse(statsJson(CR, Meta).str(2), PersistDoc, &Error))
+      << Error;
+  const json::Value &Rec = PersistDoc["server"]["recovery"];
+  ASSERT_TRUE(Rec.isObject());
+  EXPECT_EQ(Rec["journal_frames_replayed"].asInt(), 42);
+  EXPECT_TRUE(Rec["snapshot_loaded"].asBool());
+  EXPECT_EQ(Rec["torn_tail_dropped"].asInt(), 17);
+  EXPECT_EQ(Rec["restarts"].asInt(), 3);
+  expectNoNulls(PersistDoc["server"], "$.server");
+  std::string PersistText = statsText(CR, Meta);
+  EXPECT_NE(PersistText.find("server-recovery: frames-replayed=42 "
+                             "snapshot=yes torn-tail-dropped=17 restarts=3"),
+            std::string::npos);
 }
 
 //===----------------------------------------------------------------------===//
